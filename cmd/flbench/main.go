@@ -1,0 +1,52 @@
+// Command flbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	flbench -exp table2            # one artifact, quick profile
+//	flbench -exp all -profile full # the whole evaluation, paper settings
+//	flbench -list                  # enumerate artifacts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "flbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("flbench", flag.ContinueOnError)
+	expID := fs.String("exp", "all", "experiment id (see -list) or \"all\"")
+	profile := fs.String("profile", "quick", "scaling profile: quick or full")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range repro.Experiments() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	ids := repro.Experiments()
+	if *expID != "all" {
+		ids = []string{*expID}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := repro.RunExperiment(id, *profile, os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("## %s done in %v\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

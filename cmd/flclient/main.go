@@ -1,0 +1,145 @@
+// Command flclient joins a networked federation as either an honest trainer
+// or an adversary. Benign clients own a Dirichlet shard of the synthetic
+// dataset; malicious clients run one of the reproduction's attacks —
+// including the data-free DFA variants, which need nothing but the models
+// the server broadcasts.
+//
+// Example:
+//
+//	flclient -addr localhost:7070 -role benign -shard 0 -of 6
+//	flclient -addr localhost:7070 -role dfa-g
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fl"
+	"repro/internal/flnet"
+	"repro/internal/nn"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "flclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("flclient", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "server address")
+	dsName := fs.String("dataset", "fashion-sim", "dataset spec (must match the server)")
+	role := fs.String("role", "benign", "benign, dfa-r, dfa-g, lie, fang, minmax, minsum, random, freerider, signflip")
+	shard := fs.Int("shard", 0, "benign: this client's shard index")
+	of := fs.Int("of", 6, "benign: total number of benign shards")
+	beta := fs.Float64("beta", 0.5, "benign: Dirichlet heterogeneity (<=0 for i.i.d.)")
+	lr := fs.Float64("lr", 0.05, "benign: local learning rate")
+	samples := fs.Int("samples", 20, "DFA: synthetic set size |S|")
+	seed := fs.Int64("seed", 1, "random seed (benign shards must share the server's dataset seed)")
+	timeout := fs.Duration("timeout", 60*time.Second, "connection timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	spec, err := dataset.SpecByName(*dsName)
+	if err != nil {
+		return err
+	}
+	train, _ := dataset.Generate(spec, *seed)
+	newModel := modelFactory(spec)
+	rng := rand.New(rand.NewSource(*seed + int64(*shard)*7919 + 17))
+
+	trainer, err := buildTrainer(*role, spec, train, newModel, rng, *shard, *of, *beta, *lr, *samples)
+	if err != nil {
+		return err
+	}
+
+	client, err := flnet.Dial(*addr, trainer, *timeout)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("flclient: joined as client %d (role=%s)\n", client.ID, *role)
+	final, err := client.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("flclient: training finished, received final model with %d weights\n", len(final))
+	return nil
+}
+
+func buildTrainer(role string, spec dataset.Spec, train *dataset.Dataset,
+	newModel func(rng *rand.Rand) *nn.Network, rng *rand.Rand,
+	shard, of int, beta, lr float64, samples int) (flnet.Trainer, error) {
+
+	if role == "benign" {
+		if shard < 0 || shard >= of {
+			return nil, fmt.Errorf("flclient: shard %d out of range [0,%d)", shard, of)
+		}
+		prng := rand.New(rand.NewSource(int64(of) * 31))
+		var shards [][]int
+		if beta > 0 {
+			shards = dataset.PartitionDirichlet(prng, train.Labels, of, beta)
+		} else {
+			shards = dataset.PartitionIID(prng, train.Len(), of)
+		}
+		return flnet.NewBenignTrainer(train, shards[shard], newModel, lr, 1, 16, rng), nil
+	}
+
+	dfaCfg := core.DFAConfig{
+		Classes:         spec.Classes,
+		ImgC:            spec.Channels,
+		ImgSize:         spec.Size,
+		SampleCount:     samples,
+		SynthesisEpochs: 5,
+		RegLambda:       1,
+		Trained:         true,
+	}
+	var atk fl.Attack
+	var err error
+	switch role {
+	case "dfa-r":
+		atk, err = core.NewDFAR(dfaCfg)
+	case "dfa-g":
+		atk, err = core.NewDFAG(dfaCfg)
+	case "lie":
+		atk = attack.LIE{}
+	case "fang":
+		atk = attack.Fang{}
+	case "minmax":
+		atk = attack.MinMax{}
+	case "minsum":
+		atk = attack.MinSum{}
+	case "random":
+		atk = attack.RandomWeights{}
+	case "freerider":
+		atk = attack.FreeRider{NoiseStd: 1e-3}
+	case "signflip":
+		atk = attack.SignFlip{}
+	default:
+		return nil, fmt.Errorf("flclient: unknown role %q", role)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return flnet.NewAttackTrainer(atk, newModel, rng, 50), nil
+}
+
+func modelFactory(spec dataset.Spec) func(rng *rand.Rand) *nn.Network {
+	switch spec.Name {
+	case "cifar-sim", "svhn-sim":
+		return func(rng *rand.Rand) *nn.Network {
+			return nn.NewDeepCNN(rng, spec.Channels, spec.Size, spec.Classes)
+		}
+	default:
+		return func(rng *rand.Rand) *nn.Network {
+			return nn.NewFashionCNN(rng, spec.Channels, spec.Size, spec.Classes)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Defense scenario: the paper's Section V — a server under attack by the
+// data-free DFA-G adversary compares the strongest classical defense
+// (Bulyan) with REFD, the reference-dataset defense built for data-free
+// attacks, at high data heterogeneity where classical defenses struggle
+// most.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	runner := repro.NewRunner()
+	base := repro.Config{
+		Dataset:     "fashion-sim",
+		Attack:      "dfa-g",
+		Beta:        0.1, // highly heterogeneous clients
+		Rounds:      12,
+		SampleCount: 20,
+		Parallel:    true,
+	}
+
+	fmt.Println("DFA-G at high heterogeneity (β = 0.1) on fashion-sim")
+	var cleanAcc float64
+	for _, def := range []string{"bulyan", "refd"} {
+		cfg := base
+		cfg.Defense = def
+		out, err := runner.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "defense:", err)
+			os.Exit(1)
+		}
+		cleanAcc = out.CleanAcc
+		fmt.Printf("  %-7s  best accuracy under attack: %5.1f%%   ASR: %5.1f%%\n",
+			def, out.MaxAcc*100, out.ASR)
+	}
+	fmt.Printf("  (clean accuracy without attack or defense: %.1f%%)\n\n", cleanAcc*100)
+	fmt.Println("REFD scores every update on a small balanced reference set: biased")
+	fmt.Println("predictions (DFA-G's signature) lower its balance value B, low")
+	fmt.Println("confidence (DFA-R's signature) lowers V, and the D-score rejection")
+	fmt.Println("removes the attackers that distance-based selection lets through.")
+}

@@ -1,0 +1,41 @@
+// Heterogeneity sweep: Section IV-D of the paper — how the degree of
+// non-i.i.d.-ness of client data (Dirichlet β) changes both the clean
+// federation accuracy and the attack's success, here for DFA-R against
+// Bulyan on the CIFAR-like task. More heterogeneity means more diverse
+// benign updates, a weaker reference point for outlier detection, and a
+// stronger attack.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	runner := repro.NewRunner()
+	fmt.Println("DFA-R vs Bulyan on cifar-sim across heterogeneity levels")
+	fmt.Printf("%-10s  %10s  %10s  %8s\n", "beta", "clean_acc%", "attacked%", "ASR%")
+	for _, beta := range []float64{0.1, 0.5, 0.9} {
+		out, err := runner.Run(repro.Config{
+			Dataset:     "cifar-sim",
+			Attack:      "dfa-r",
+			Defense:     "bulyan",
+			Beta:        beta,
+			Rounds:      12,
+			SampleCount: 20,
+			Parallel:    true,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "heterogeneity:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10.1f  %10.1f  %10.1f  %8.1f\n",
+			beta, out.CleanAcc*100, out.MaxAcc*100, out.ASR)
+	}
+	fmt.Println()
+	fmt.Println("Lower β = more skewed client label distributions. The clean accuracy")
+	fmt.Println("drops with heterogeneity while the attack gains ground — the trend of")
+	fmt.Println("the paper's Fig. 5.")
+}

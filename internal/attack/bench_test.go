@@ -1,0 +1,44 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fl"
+)
+
+func benchCtx(dim, benign int) *fl.AttackContext {
+	rng := rand.New(rand.NewSource(1))
+	updates := make([][]float64, benign)
+	for i := range updates {
+		updates[i] = make([]float64, dim)
+		for j := range updates[i] {
+			updates[i][j] = rng.NormFloat64()
+		}
+	}
+	return &fl.AttackContext{
+		Global:        make([]float64, dim),
+		PrevGlobal:    make([]float64, dim),
+		BenignUpdates: updates,
+		NumAttackers:  2,
+		NumSelected:   benign + 2,
+		Rng:           rng,
+	}
+}
+
+func benchAttack(b *testing.B, a fl.Attack) {
+	b.Helper()
+	ctx := benchCtx(27000, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Craft(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLIE(b *testing.B)    { benchAttack(b, LIE{}) }
+func BenchmarkFang(b *testing.B)   { benchAttack(b, Fang{}) }
+func BenchmarkMinMax(b *testing.B) { benchAttack(b, MinMax{}) }
+func BenchmarkMinSum(b *testing.B) { benchAttack(b, MinSum{}) }

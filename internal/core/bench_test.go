@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fl"
+	"repro/internal/nn"
+)
+
+func benchTask(b *testing.B) (*fl.AttackContext, DFAConfig, *dataset.Dataset) {
+	b.Helper()
+	spec := dataset.TinySpec()
+	_, test := dataset.Generate(spec, 1)
+	newModel := func(rng *rand.Rand) *nn.Network {
+		return nn.NewFashionCNN(rng, spec.Channels, spec.Size, spec.Classes)
+	}
+	global := newModel(rand.New(rand.NewSource(2))).WeightVector()
+	ctx := &fl.AttackContext{
+		Global:       global,
+		PrevGlobal:   global,
+		NumAttackers: 2,
+		NumSelected:  10,
+		NewModel:     newModel,
+		Rng:          rand.New(rand.NewSource(3)),
+	}
+	cfg := DFAConfig{
+		Classes:         spec.Classes,
+		ImgC:            spec.Channels,
+		ImgSize:         spec.Size,
+		SampleCount:     8,
+		SynthesisEpochs: 3,
+		Trained:         true,
+	}
+	return ctx, cfg, test
+}
+
+// BenchmarkDFARound measures one full DFA-R round: |S| filter-layer
+// optimizations plus the adversarial classifier training.
+func BenchmarkDFARound(b *testing.B) {
+	ctx, cfg, _ := benchTask(b)
+	a, err := NewDFAR(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Craft(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDFAGRound measures one full DFA-G round: generator training plus
+// the adversarial classifier training.
+func BenchmarkDFAGRound(b *testing.B) {
+	ctx, cfg, _ := benchTask(b)
+	a, err := NewDFAG(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Craft(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkREFDScore measures one D-score evaluation (inference of one
+// client model over the reference set), the per-update cost of the defense.
+func BenchmarkREFDScore(b *testing.B) {
+	ctx, _, test := benchTask(b)
+	ref, err := BalancedReference(test, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	refd, err := NewREFD(ref, ctx.NewModel, 1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := refd.DScore(ctx.Global); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

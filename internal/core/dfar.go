@@ -1,0 +1,106 @@
+package core
+
+import (
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// DFAR is the filter-layer variant of the data-free attack (Section III-C).
+// For every synthetic sample it draws a static random image A, passes it
+// through a trainable convolutional filter layer to obtain image B, and
+// optimizes the filter so the frozen global model's prediction for B
+// approaches the uniform distribution Y_D = [1/L, …, 1/L]. The |S| resulting
+// images, paired with a per-round random class Ỹ, train the adversarial
+// classifier with the distance-regularized loss.
+type DFAR struct {
+	cfg       DFAConfig
+	lossTrace [][]float64
+}
+
+var _ fl.Attack = (*DFAR)(nil)
+
+// NewDFAR constructs the attack; the config is validated and defaults are
+// filled in.
+func NewDFAR(cfg DFAConfig) (*DFAR, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &DFAR{cfg: cfg}, nil
+}
+
+// Name implements fl.Attack.
+func (a *DFAR) Name() string {
+	if !a.cfg.Trained {
+		return "dfa-r-static"
+	}
+	return "dfa-r"
+}
+
+// LossTrace returns the per-round, per-epoch synthesis losses (the
+// cross-entropy against Y_D averaged over S), the series plotted in Fig. 7.
+func (a *DFAR) LossTrace() [][]float64 {
+	out := make([][]float64, len(a.lossTrace))
+	for i, r := range a.lossTrace {
+		out[i] = append([]float64(nil), r...)
+	}
+	return out
+}
+
+// Craft implements fl.Attack.
+func (a *DFAR) Craft(ctx *fl.AttackContext) ([][]float64, error) {
+	cfg := a.cfg
+	frozen, err := frozenModel(ctx)
+	if err != nil {
+		return nil, err
+	}
+	images := tensor.New(cfg.SampleCount, cfg.ImgC, cfg.ImgSize, cfg.ImgSize)
+	per := cfg.ImgC * cfg.ImgSize * cfg.ImgSize
+	uniform := nn.UniformTarget(cfg.Classes)
+	epochLoss := make([]float64, cfg.SynthesisEpochs)
+
+	for s := 0; s < cfg.SampleCount; s++ {
+		// Static random dummy image A; the filter layer is the only
+		// trainable component (Section III-C keeps A and the global model
+		// fixed to minimize the trainable parameter count).
+		dummy := tensor.New(1, cfg.ImgC, cfg.ImgSize, cfg.ImgSize)
+		dummy.FillUniform(ctx.Rng, -1, 1)
+		filter := nn.NewConv2D(ctx.Rng, cfg.ImgC, cfg.ImgC, 3, 1, 1)
+		fnet := nn.NewNetwork(filter)
+		opt := nn.NewSGD(cfg.SynthesisLR, 0.9)
+
+		if cfg.Trained {
+			for e := 0; e < cfg.SynthesisEpochs; e++ {
+				b := fnet.Forward(dummy, true)
+				logits := frozen.Forward(b, true)
+				loss, grad := nn.CrossEntropySoft(logits, uniform)
+				db := frozen.Backward(grad)
+				frozen.ZeroGrads() // the global model is never updated
+				fnet.Backward(db)
+				opt.Step(fnet)
+				epochLoss[e] += loss
+			}
+		}
+		b := fnet.Forward(dummy, false)
+		copy(images.Data[s*per:(s+1)*per], b.Data)
+	}
+	if cfg.Trained {
+		for e := range epochLoss {
+			epochLoss[e] /= float64(cfg.SampleCount)
+		}
+		a.lossTrace = append(a.lossTrace, epochLoss)
+	}
+
+	// Step 2: pair S with a per-round random class Ỹ and train the
+	// adversarial classifier.
+	yTilde := ctx.Rng.Intn(cfg.Classes)
+	labels := make([]int, cfg.SampleCount)
+	for i := range labels {
+		labels[i] = yTilde
+	}
+	w, err := trainAdversary(ctx, cfg, images, labels)
+	if err != nil {
+		return nil, err
+	}
+	return replicate(ctx, w, cfg.PerturbStd), nil
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/vec"
+)
+
+// REFD is the paper's defense against data-free attacks (Section V): the
+// server runs every received model on a small balanced reference dataset
+// D_r and computes a D-score from two signals —
+//
+//   - the balance value B (Eq. 6): the inverse standard deviation of the
+//     predicted-label histogram, low when the update biases predictions
+//     toward one class (typical of DFA-G, LIE, Min-Max);
+//   - the confidence value V (Eq. 7): the mean maximum class probability,
+//     low when the update destroys prediction confidence (typical of DFA-R
+//     and Fang).
+//
+// The two combine F_β-style (Eq. 8) and the X lowest-scoring updates are
+// rejected; the rest are FedAvg-aggregated.
+type REFD struct {
+	ref      *dataset.Dataset
+	newModel func(rng *rand.Rand) *nn.Network
+	alpha    float64
+	rejectX  int
+	scratch  *nn.Network
+}
+
+var _ fl.Aggregator = (*REFD)(nil)
+
+// NewREFD builds the defense. ref must be a labelled reference set with a
+// balanced class distribution (see BalancedReference); alpha weighs B
+// against V (the paper uses 1); rejectX is the number of updates discarded
+// per round (the paper uses 2, the server's assumed attacker count).
+func NewREFD(ref *dataset.Dataset, newModel func(rng *rand.Rand) *nn.Network, alpha float64, rejectX int) (*REFD, error) {
+	if ref == nil || ref.Len() == 0 {
+		return nil, errors.New("core: REFD requires a non-empty reference dataset")
+	}
+	if alpha <= 0 {
+		return nil, fmt.Errorf("core: REFD alpha %v must be positive", alpha)
+	}
+	if rejectX < 0 {
+		return nil, fmt.Errorf("core: REFD rejectX %d must be non-negative", rejectX)
+	}
+	return &REFD{ref: ref, newModel: newModel, alpha: alpha, rejectX: rejectX}, nil
+}
+
+// Name implements fl.Aggregator.
+func (*REFD) Name() string { return "refd" }
+
+// DScore computes the balance value, confidence value and combined D-score
+// of a model given its weight vector, by inference over the reference set.
+func (r *REFD) DScore(weights []float64) (b, v, d float64, err error) {
+	if r.scratch == nil {
+		r.scratch = r.newModel(rand.New(rand.NewSource(1)))
+	}
+	if err := r.scratch.SetWeightVector(weights); err != nil {
+		return 0, 0, 0, err
+	}
+	counts := make([]float64, r.ref.Classes)
+	confSum := 0.0
+	n := r.ref.Len()
+	const batch = 64
+	for start := 0; start < n; start += batch {
+		end := start + batch
+		if end > n {
+			end = n
+		}
+		idx := make([]int, end-start)
+		for i := range idx {
+			idx[i] = start + i
+		}
+		x, _ := r.ref.Batch(idx)
+		probs := nn.Softmax(r.scratch.Forward(x, false))
+		classes := probs.Shape[1]
+		for bi := 0; bi < probs.Shape[0]; bi++ {
+			row := probs.Data[bi*classes : (bi+1)*classes]
+			best := 0
+			for j, p := range row {
+				if p > row[best] {
+					best = j
+				}
+			}
+			counts[best]++
+			confSum += row[best]
+		}
+	}
+	// Balance value (Eq. 6): inverse std of the label histogram; a
+	// perfectly balanced histogram has std 0 and is assigned B = 1 by the
+	// paper's case split.
+	_, std := vec.MeanStdScalar(counts)
+	if std == 0 {
+		b = 1
+	} else {
+		b = 1 / std
+	}
+	// Confidence value (Eq. 7).
+	v = confSum / float64(n)
+	// D-score (Eq. 8).
+	a2 := r.alpha * r.alpha
+	if b == 0 && v == 0 {
+		return b, v, 0, nil
+	}
+	d = (1 + a2) * b * v / (a2*b + v)
+	return b, v, d, nil
+}
+
+// errRefdNoUpdates is shared by REFD and AdaptiveREFD.
+var errRefdNoUpdates = errors.New("core: REFD has no updates to aggregate")
+
+// Aggregate implements fl.Aggregator.
+func (r *REFD) Aggregate(_ []float64, updates []fl.Update) ([]float64, []int, error) {
+	if len(updates) == 0 {
+		return nil, nil, errRefdNoUpdates
+	}
+	scores, err := r.scoreAll(updates)
+	if err != nil {
+		return nil, nil, err
+	}
+	order := make([]int, len(updates))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+	reject := r.rejectX
+	if reject >= len(updates) {
+		reject = len(updates) - 1 // always keep at least one update
+	}
+	selected := append([]int(nil), order[reject:]...)
+	sort.Ints(selected)
+
+	vs := make([][]float64, len(selected))
+	weights := make([]float64, len(selected))
+	for i, idx := range selected {
+		vs[i] = updates[idx].Weights
+		n := updates[idx].NumSamples
+		if n <= 0 {
+			n = 1
+		}
+		weights[i] = float64(n)
+	}
+	return vec.WeightedMean(vs, weights), selected, nil
+}
+
+// scoreAll computes the D-score of every update, spreading the reference-set
+// inference over the available CPUs (each worker evaluates with its own
+// scratch model, so no layer state is shared).
+func (r *REFD) scoreAll(updates []fl.Update) ([]float64, error) {
+	scores := make([]float64, len(updates))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(updates) {
+		workers = len(updates)
+	}
+	if workers <= 1 {
+		for i, u := range updates {
+			_, _, d, err := r.DScore(u.Weights)
+			if err != nil {
+				return nil, err
+			}
+			scores[i] = d
+		}
+		return scores, nil
+	}
+	errs := make([]error, len(updates))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker := &REFD{ref: r.ref, newModel: r.newModel, alpha: r.alpha, rejectX: r.rejectX}
+			for i := range work {
+				_, _, d, err := worker.DScore(updates[i].Weights)
+				scores[i], errs[i] = d, err
+			}
+		}()
+	}
+	for i := range updates {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return scores, nil
+}
+
+// BalancedReference extracts a class-balanced labelled subset of perClass
+// samples per class from ds, the reference-set shape REFD assumes ("the
+// quantity of each class label is assumed to be balanced"). It returns an
+// error when some class has fewer than perClass samples.
+func BalancedReference(ds *dataset.Dataset, perClass int) (*dataset.Dataset, error) {
+	if perClass <= 0 {
+		return nil, fmt.Errorf("core: perClass %d must be positive", perClass)
+	}
+	var idx []int
+	taken := make([]int, ds.Classes)
+	for i, l := range ds.Labels {
+		if taken[l] < perClass {
+			idx = append(idx, i)
+			taken[l]++
+		}
+	}
+	for c, n := range taken {
+		if n < perClass {
+			return nil, fmt.Errorf("core: class %d has only %d samples, want %d", c, n, perClass)
+		}
+	}
+	return ds.Subset(idx), nil
+}

@@ -1,0 +1,42 @@
+package defense
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fl"
+)
+
+// benchUpdates builds a paper-shaped round: 10 updates of DeepCNN size
+// (≈27k parameters).
+func benchUpdates(n, dim int) []fl.Update {
+	rng := rand.New(rand.NewSource(1))
+	us := make([]fl.Update, n)
+	for i := range us {
+		w := make([]float64, dim)
+		for j := range w {
+			w[j] = rng.NormFloat64()
+		}
+		us[i] = fl.Update{ClientID: i, Weights: w, NumSamples: 50}
+	}
+	return us
+}
+
+func benchAggregator(b *testing.B, agg fl.Aggregator) {
+	b.Helper()
+	us := benchUpdates(10, 27000)
+	global := make([]float64, 27000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := agg.Aggregate(global, us); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFedAvg(b *testing.B)      { benchAggregator(b, FedAvg{}) }
+func BenchmarkMedian(b *testing.B)      { benchAggregator(b, Median{}) }
+func BenchmarkTrimmedMean(b *testing.B) { benchAggregator(b, TrimmedMean{Trim: 2}) }
+func BenchmarkMultiKrum(b *testing.B)   { benchAggregator(b, MultiKrum{F: 2}) }
+func BenchmarkBulyan(b *testing.B)      { benchAggregator(b, Bulyan{F: 2}) }

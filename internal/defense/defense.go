@@ -1,0 +1,315 @@
+// Package defense implements the server-side robust aggregation rules the
+// paper evaluates (Section II-C and IV-A): FedAvg (attack-free baseline),
+// coordinate-wise Median and Trimmed mean (Yin et al.), Krum and
+// Multi-Krum (Blanchard et al.), and Bulyan (El Mhamdi et al.).
+//
+// Every rule implements fl.Aggregator. Selection-based rules (Krum family,
+// Bulyan) report which updates entered the aggregate so the harness can
+// compute the paper's defense pass rate (Eq. 5); purely statistical rules
+// return a nil selection, which the harness reports as "N/A".
+package defense
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/fl"
+	"repro/internal/vec"
+)
+
+var errNoUpdates = errors.New("defense: no updates to aggregate")
+
+func updateVectors(updates []fl.Update) [][]float64 {
+	vs := make([][]float64, len(updates))
+	for i, u := range updates {
+		vs[i] = u.Weights
+	}
+	return vs
+}
+
+// FedAvg is the paper's Eq. 2: the sample-count-weighted average of all
+// updates. It applies no filtering and is the aggregation rule used for the
+// clean "no attack, no defense" accuracy baseline.
+type FedAvg struct{}
+
+var _ fl.Aggregator = FedAvg{}
+
+// Name implements fl.Aggregator.
+func (FedAvg) Name() string { return "fedavg" }
+
+// Aggregate implements fl.Aggregator.
+func (FedAvg) Aggregate(_ []float64, updates []fl.Update) ([]float64, []int, error) {
+	if len(updates) == 0 {
+		return nil, nil, errNoUpdates
+	}
+	weights := make([]float64, len(updates))
+	for i, u := range updates {
+		n := u.NumSamples
+		if n <= 0 {
+			n = 1
+		}
+		weights[i] = float64(n)
+	}
+	return vec.WeightedMean(updateVectors(updates), weights), nil, nil
+}
+
+// Median is the coordinate-wise median aggregation of Yin et al.
+type Median struct{}
+
+var _ fl.Aggregator = Median{}
+
+// Name implements fl.Aggregator.
+func (Median) Name() string { return "median" }
+
+// Aggregate implements fl.Aggregator.
+func (Median) Aggregate(_ []float64, updates []fl.Update) ([]float64, []int, error) {
+	if len(updates) == 0 {
+		return nil, nil, errNoUpdates
+	}
+	return vec.Median(updateVectors(updates)), nil, nil
+}
+
+// TrimmedMean is the coordinate-wise trimmed mean of Yin et al.: the Trim
+// largest and smallest values of every coordinate are discarded before
+// averaging. Trim is normally the server's assumed number of attackers per
+// round; when a round has too few updates the trim is reduced to keep at
+// least one value.
+type TrimmedMean struct {
+	// Trim is the number of values removed from each end per coordinate.
+	Trim int
+}
+
+var _ fl.Aggregator = TrimmedMean{}
+
+// Name implements fl.Aggregator.
+func (TrimmedMean) Name() string { return "trmean" }
+
+// Aggregate implements fl.Aggregator.
+func (t TrimmedMean) Aggregate(_ []float64, updates []fl.Update) ([]float64, []int, error) {
+	if len(updates) == 0 {
+		return nil, nil, errNoUpdates
+	}
+	trim := t.Trim
+	if trim < 0 {
+		return nil, nil, fmt.Errorf("defense: negative trim %d", trim)
+	}
+	for 2*trim >= len(updates) {
+		trim--
+	}
+	return vec.TrimmedMean(updateVectors(updates), trim), nil, nil
+}
+
+// krumScores returns, for every update, the sum of squared distances to its
+// n−f−2 nearest neighbours (Blanchard et al.). The neighbour count is
+// clamped to [1, n−1] so small rounds still produce a usable score.
+func krumScores(vs [][]float64, f int) []float64 {
+	n := len(vs)
+	neighbours := n - f - 2
+	if neighbours < 1 {
+		neighbours = 1
+	}
+	if neighbours > n-1 {
+		neighbours = n - 1
+	}
+	// Pairwise squared distances.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := vec.SqDist(vs[i], vs[j])
+			dist[i][j] = d
+			dist[j][i] = d
+		}
+	}
+	scores := make([]float64, n)
+	row := make([]float64, 0, n-1)
+	for i := 0; i < n; i++ {
+		row = row[:0]
+		for j := 0; j < n; j++ {
+			if j != i {
+				row = append(row, dist[i][j])
+			}
+		}
+		sort.Float64s(row)
+		s := 0.0
+		for k := 0; k < neighbours; k++ {
+			s += row[k]
+		}
+		scores[i] = s
+	}
+	return scores
+}
+
+// MultiKrum implements Krum and its multi-update extension mKrum: updates
+// are scored by the summed squared distance to their nearest neighbours and
+// the M lowest-scoring updates are averaged. M = 1 is plain Krum; the paper
+// uses mKrum with M = n − F, interpolating between Krum and averaging.
+type MultiKrum struct {
+	// F is the server's assumed number of Byzantine updates per round.
+	F int
+	// M is the number of updates selected; 0 means n − F.
+	M int
+}
+
+var _ fl.Aggregator = MultiKrum{}
+
+// Name implements fl.Aggregator.
+func (k MultiKrum) Name() string {
+	if k.M == 1 {
+		return "krum"
+	}
+	return "mkrum"
+}
+
+// Aggregate implements fl.Aggregator.
+func (k MultiKrum) Aggregate(_ []float64, updates []fl.Update) ([]float64, []int, error) {
+	n := len(updates)
+	if n == 0 {
+		return nil, nil, errNoUpdates
+	}
+	m := k.M
+	if m <= 0 {
+		m = n - k.F
+	}
+	if m < 1 {
+		m = 1
+	}
+	if m > n {
+		m = n
+	}
+	vs := updateVectors(updates)
+	scores := krumScores(vs, k.F)
+	order := argsort(scores)
+	selected := append([]int(nil), order[:m]...)
+	chosen := make([][]float64, m)
+	for i, idx := range selected {
+		chosen[i] = vs[idx]
+	}
+	return vec.Mean(chosen), selected, nil
+}
+
+// Bulyan implements the two-stage defense of El Mhamdi et al.: first an
+// iterative Multi-Krum selection of θ = n − 2F updates, then for every
+// coordinate the average of the β = θ − 2F values closest to the
+// coordinate median. Both counts are clamped for small rounds.
+type Bulyan struct {
+	// F is the server's assumed number of Byzantine updates per round.
+	F int
+}
+
+var _ fl.Aggregator = Bulyan{}
+
+// Name implements fl.Aggregator.
+func (Bulyan) Name() string { return "bulyan" }
+
+// Aggregate implements fl.Aggregator.
+func (b Bulyan) Aggregate(_ []float64, updates []fl.Update) ([]float64, []int, error) {
+	n := len(updates)
+	if n == 0 {
+		return nil, nil, errNoUpdates
+	}
+	theta := n - 2*b.F
+	if theta < 1 {
+		theta = 1
+	}
+	vs := updateVectors(updates)
+
+	// Stage 1: iterative Krum selection of theta updates.
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var selected []int
+	for len(selected) < theta {
+		sub := make([][]float64, len(remaining))
+		for i, idx := range remaining {
+			sub[i] = vs[idx]
+		}
+		scores := krumScores(sub, b.F)
+		best := 0
+		for i, s := range scores {
+			if s < scores[best] {
+				best = i
+			}
+		}
+		selected = append(selected, remaining[best])
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+
+	// Stage 2: coordinate-wise trimmed average around the median of the
+	// selected updates.
+	beta := theta - 2*b.F
+	if beta < 1 {
+		beta = 1
+	}
+	dim := len(vs[0])
+	out := make([]float64, dim)
+	type kv struct{ dev, val float64 }
+	col := make([]kv, theta)
+	for d := 0; d < dim; d++ {
+		vals := make([]float64, theta)
+		for i, idx := range selected {
+			vals[i] = vs[idx][d]
+		}
+		med := medianOf(vals)
+		for i, v := range vals {
+			dev := v - med
+			if dev < 0 {
+				dev = -dev
+			}
+			col[i] = kv{dev, v}
+		}
+		sort.Slice(col, func(i, j int) bool { return col[i].dev < col[j].dev })
+		s := 0.0
+		for i := 0; i < beta; i++ {
+			s += col[i].val
+		}
+		out[d] = s / float64(beta)
+	}
+	return out, selected, nil
+}
+
+func medianOf(vals []float64) float64 {
+	tmp := append([]float64(nil), vals...)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return 0.5 * (tmp[n/2-1] + tmp[n/2])
+}
+
+func argsort(scores []float64) []int {
+	order := make([]int, len(scores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+	return order
+}
+
+// ByName resolves a defense by its canonical name; f is the server's assumed
+// per-round attacker count used by the robust rules.
+func ByName(name string, f int) (fl.Aggregator, error) {
+	switch name {
+	case "fedavg", "none":
+		return FedAvg{}, nil
+	case "median":
+		return Median{}, nil
+	case "trmean", "trimmedmean":
+		return TrimmedMean{Trim: f}, nil
+	case "krum":
+		return MultiKrum{F: f, M: 1}, nil
+	case "mkrum":
+		return MultiKrum{F: f}, nil
+	case "bulyan":
+		return Bulyan{F: f}, nil
+	case "foolsgold":
+		return NewFoolsGold(1), nil
+	default:
+		return nil, fmt.Errorf("defense: unknown defense %q", name)
+	}
+}

@@ -1,0 +1,135 @@
+package defense
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fl"
+	"repro/internal/vec"
+)
+
+// sybilRound builds a round with diverse benign updates and identical
+// (colluding) Sybil updates, all relative to the given global model.
+func sybilRound(rng *rand.Rand, global []float64, nBenign, nSybil int) []fl.Update {
+	var us []fl.Update
+	id := 0
+	for i := 0; i < nBenign; i++ {
+		w := make([]float64, len(global))
+		for d := range w {
+			w[d] = global[d] + rng.NormFloat64()
+		}
+		us = append(us, fl.Update{ClientID: id, Weights: w, NumSamples: 10})
+		id++
+	}
+	sybil := make([]float64, len(global))
+	for d := range sybil {
+		sybil[d] = global[d] + 5 // shared malicious direction
+	}
+	for i := 0; i < nSybil; i++ {
+		us = append(us, fl.Update{ClientID: id, Weights: vec.Clone(sybil), NumSamples: 10, Malicious: true})
+		id++
+	}
+	return us
+}
+
+func TestFoolsGoldDownweightsSybils(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	global := make([]float64, 30)
+	fg := NewFoolsGold(1)
+	// Run several rounds so histories accumulate; Sybils share a direction
+	// every round while benign clients move diversely.
+	var lastSelected []int
+	var updates []fl.Update
+	for round := 0; round < 4; round++ {
+		updates = sybilRound(rng, global, 6, 3)
+		out, sel, err := fg.Aggregate(global, updates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		global = out
+		lastSelected = sel
+	}
+	// After history accumulates, the identical Sybils must be excluded (or
+	// at minimum not all selected) while benign diversity keeps benign
+	// clients in.
+	sybilSelected := 0
+	benignSelected := 0
+	for _, idx := range lastSelected {
+		if updates[idx].Malicious {
+			sybilSelected++
+		} else {
+			benignSelected++
+		}
+	}
+	if sybilSelected > 0 {
+		t.Fatalf("FoolsGold selected %d colluding Sybils after history accumulated", sybilSelected)
+	}
+	if benignSelected < 5 {
+		t.Fatalf("FoolsGold kept only %d of 6 benign clients", benignSelected)
+	}
+}
+
+func TestFoolsGoldKeepsDiverseClients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	global := make([]float64, 20)
+	fg := NewFoolsGold(1)
+	us := sybilRound(rng, global, 8, 0) // no Sybils at all
+	out, sel, err := fg.Aggregate(global, us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) < 7 {
+		t.Fatalf("FoolsGold should keep diverse benign clients, selected %d/8", len(sel))
+	}
+	if len(out) != len(global) {
+		t.Fatalf("aggregate length %d", len(out))
+	}
+}
+
+func TestFoolsGoldEmptyRound(t *testing.T) {
+	fg := NewFoolsGold(0) // kappa defaulted
+	if fg.Kappa != 1 {
+		t.Fatalf("kappa default = %v, want 1", fg.Kappa)
+	}
+	if _, _, err := fg.Aggregate(nil, nil); err == nil {
+		t.Fatal("expected error for empty round")
+	}
+}
+
+func TestFoolsGoldAllIdenticalFallsBack(t *testing.T) {
+	global := []float64{1, 2, 3}
+	w := []float64{2, 3, 4}
+	us := []fl.Update{
+		{ClientID: 0, Weights: vec.Clone(w), NumSamples: 1},
+		{ClientID: 1, Weights: vec.Clone(w), NumSamples: 1},
+		{ClientID: 2, Weights: vec.Clone(w), NumSamples: 1},
+	}
+	fg := NewFoolsGold(1)
+	out, sel, err := fg.Aggregate(global, us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 0 {
+		t.Fatalf("all-identical round should select nobody, got %v", sel)
+	}
+	for i := range global {
+		if out[i] != global[i] {
+			t.Fatal("degenerate round should keep the global model")
+		}
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := cosine([]float64{1, 0}, []float64{1, 0}); got != 1 {
+		t.Fatalf("cosine of identical = %v", got)
+	}
+	if got := cosine([]float64{1, 0}, []float64{0, 1}); got != 0 {
+		t.Fatalf("cosine of orthogonal = %v", got)
+	}
+	if got := cosine([]float64{1, 0}, []float64{-1, 0}); got != -1 {
+		t.Fatalf("cosine of opposite = %v", got)
+	}
+	if got := cosine([]float64{0, 0}, []float64{1, 0}); got != 0 {
+		t.Fatalf("cosine with zero vector = %v", got)
+	}
+}

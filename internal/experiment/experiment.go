@@ -1,0 +1,353 @@
+// Package experiment wires datasets, models, attacks and defenses into the
+// named experimental configurations of the paper's evaluation (Section IV
+// and V). It owns the mapping from human-readable names ("fashion-sim",
+// "dfa-r", "bulyan") to concrete components, caches the clean "no attack,
+// no defense" accuracy baselines the ASR metric needs, and runs grids of
+// configurations concurrently for the benchmark harness.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/defense"
+	"repro/internal/fl"
+	"repro/internal/nn"
+)
+
+// Config describes one simulation run. Zero fields are filled with the
+// paper's defaults (scaled to the pure-Go simulator) by Normalize.
+type Config struct {
+	// Dataset names the task: fashion-sim, cifar-sim, svhn-sim, tiny-sim.
+	Dataset string
+	// Attack names the adversary: none, random, labelflip, lie, fang,
+	// minmax, minsum, dfa-r, dfa-g, dfa-r-static, dfa-g-static, real-data.
+	Attack string
+	// Defense names the aggregation rule: fedavg, median, trmean, krum,
+	// mkrum, bulyan, refd.
+	Defense string
+	// Beta is the Dirichlet heterogeneity parameter; <= 0 means i.i.d.
+	Beta float64
+	// AttackerFrac is the fraction of malicious clients (paper: 0.2).
+	AttackerFrac float64
+	// Seed drives every random component of the run.
+	Seed int64
+
+	// TotalClients, PerRound, Rounds, LocalEpochs, BatchSize, LR and
+	// EvalLimit configure the federation (see fl.Config).
+	TotalClients int
+	PerRound     int
+	Rounds       int
+	LocalEpochs  int
+	BatchSize    int
+	LR           float64
+	EvalLimit    int
+
+	// TrainN and TestN override the dataset spec sizes when positive.
+	TrainN, TestN int
+
+	// SampleCount is |S| for the DFA family and the real-data attack.
+	SampleCount int
+	// SynthesisEpochs is E for the DFA family (paper: 5 for Fashion-MNIST,
+	// 10 for CIFAR/SVHN).
+	SynthesisEpochs int
+	// NoReg disables the distance-based regularization (Table IV ablation).
+	NoReg bool
+	// PerturbStd adds per-attacker Gaussian noise to the DFA updates, the
+	// Section III-A trick for evading Sybil defenses like FoolsGold.
+	PerturbStd float64
+
+	// FProxy is the server's assumed per-round attacker count used to
+	// parameterize the robust defenses (paper setting: 2 of 10).
+	FProxy int
+	// RefPerClass sizes REFD's balanced reference set.
+	RefPerClass int
+	// RejectX is REFD's per-round rejection count (paper: 2).
+	RejectX int
+
+	// Parallel trains the selected clients of a round concurrently.
+	Parallel bool
+}
+
+// Normalize fills defaults in place and validates the names.
+func (c *Config) Normalize() error {
+	if c.Dataset == "" {
+		c.Dataset = "fashion-sim"
+	}
+	spec, err := dataset.SpecByName(c.Dataset)
+	if err != nil {
+		return err
+	}
+	c.Dataset = spec.Name
+	if c.Attack == "" {
+		c.Attack = "none"
+	}
+	if c.Defense == "" {
+		c.Defense = "fedavg"
+	}
+	if c.AttackerFrac == 0 && c.Attack != "none" {
+		c.AttackerFrac = 0.2
+	}
+	if c.TotalClients == 0 {
+		c.TotalClients = 100
+	}
+	if c.PerRound == 0 {
+		c.PerRound = 10
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 15
+	}
+	if c.LocalEpochs == 0 {
+		c.LocalEpochs = 1
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	if c.EvalLimit == 0 {
+		c.EvalLimit = 500
+	}
+	if c.SampleCount == 0 {
+		c.SampleCount = 50
+	}
+	if c.SynthesisEpochs == 0 {
+		if c.Dataset == "fashion-sim" || c.Dataset == "tiny-sim" {
+			c.SynthesisEpochs = 5
+		} else {
+			c.SynthesisEpochs = 10
+		}
+	}
+	if c.FProxy == 0 {
+		c.FProxy = 2
+	}
+	if c.RefPerClass == 0 {
+		c.RefPerClass = 20
+	}
+	if c.RejectX == 0 {
+		c.RejectX = 2
+	}
+	return nil
+}
+
+// cleanKey identifies a clean-baseline run: everything that affects the
+// no-attack accuracy.
+func (c Config) cleanKey() string {
+	return fmt.Sprintf("%s|beta=%g|seed=%d|rounds=%d|N=%d|K=%d|lr=%g|bs=%d|ep=%d|train=%d|test=%d|eval=%d",
+		c.Dataset, c.Beta, c.Seed, c.Rounds, c.TotalClients, c.PerRound, c.LR, c.BatchSize,
+		c.LocalEpochs, c.TrainN, c.TestN, c.EvalLimit)
+}
+
+// Outcome reports one run together with its clean baseline and the paper's
+// two metrics.
+type Outcome struct {
+	// Config is the normalized configuration that produced this outcome.
+	Config Config
+	// CleanAcc is the paper's acc: the no-attack/no-defense accuracy for
+	// the same dataset, heterogeneity and seed, in [0, 1].
+	CleanAcc float64
+	// MaxAcc is acc_m, the best accuracy reached under attack, in [0, 1].
+	MaxAcc float64
+	// FinalAcc is the accuracy after the last round.
+	FinalAcc float64
+	// ASR is the attack success rate of Eq. 4, in percent.
+	ASR float64
+	// DPR is the defense pass rate of Eq. 5 in percent; NaN when the
+	// defense does not select ("N/A" in the paper).
+	DPR float64
+	// AccTimeline holds per-round accuracies (NaN where not evaluated).
+	AccTimeline []float64
+	// SynthesisLoss holds the DFA per-round per-epoch synthesis losses
+	// (Fig. 7); nil for other attacks.
+	SynthesisLoss [][]float64
+}
+
+// buildTask resolves the dataset, partition and model factory of a config.
+type task struct {
+	spec     dataset.Spec
+	train    *dataset.Dataset
+	test     *dataset.Dataset
+	shards   [][]int
+	newModel func(rng *rand.Rand) *nn.Network
+}
+
+func buildTask(cfg Config) (*task, error) {
+	spec, err := dataset.SpecByName(cfg.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TrainN > 0 {
+		spec.TrainN = cfg.TrainN
+	}
+	if cfg.TestN > 0 {
+		spec.TestN = cfg.TestN
+	}
+	train, test := dataset.Generate(spec, cfg.Seed)
+	prng := rand.New(rand.NewSource(cfg.Seed ^ 0x7054))
+	var shards [][]int
+	if cfg.Beta > 0 {
+		shards = dataset.PartitionDirichlet(prng, train.Labels, cfg.TotalClients, cfg.Beta)
+	} else {
+		shards = dataset.PartitionIID(prng, train.Len(), cfg.TotalClients)
+	}
+	var newModel func(rng *rand.Rand) *nn.Network
+	switch spec.Name {
+	case "cifar-sim", "svhn-sim":
+		newModel = func(rng *rand.Rand) *nn.Network {
+			return nn.NewDeepCNN(rng, spec.Channels, spec.Size, spec.Classes)
+		}
+	default:
+		newModel = func(rng *rand.Rand) *nn.Network {
+			return nn.NewFashionCNN(rng, spec.Channels, spec.Size, spec.Classes)
+		}
+	}
+	return &task{spec: spec, train: train, test: test, shards: shards, newModel: newModel}, nil
+}
+
+// lossTracer is implemented by the DFA attacks to expose Fig. 7 data.
+type lossTracer interface {
+	LossTrace() [][]float64
+}
+
+func buildAttack(cfg Config, tk *task) (fl.Attack, error) {
+	dfaCfg := core.DFAConfig{
+		Classes:         tk.spec.Classes,
+		ImgC:            tk.spec.Channels,
+		ImgSize:         tk.spec.Size,
+		SampleCount:     cfg.SampleCount,
+		SynthesisEpochs: cfg.SynthesisEpochs,
+		ClassifierLR:    cfg.LR,
+		BatchSize:       cfg.BatchSize,
+		RegLambda:       1,
+		Trained:         true,
+		PerturbStd:      cfg.PerturbStd,
+	}
+	if cfg.NoReg {
+		dfaCfg.RegLambda = 0
+	}
+	switch cfg.Attack {
+	case "none":
+		return nil, nil
+	case "random":
+		return attack.RandomWeights{}, nil
+	case "freerider":
+		return attack.FreeRider{NoiseStd: 1e-3}, nil
+	case "signflip":
+		return attack.SignFlip{}, nil
+	case "lie":
+		return attack.LIE{}, nil
+	case "fang":
+		return attack.Fang{}, nil
+	case "minmax":
+		return attack.MinMax{}, nil
+	case "minsum":
+		return attack.MinSum{}, nil
+	case "labelflip":
+		return &attack.LabelFlip{
+			Data:      tk.train,
+			Shard:     tk.shards[0],
+			LR:        cfg.LR,
+			Epochs:    cfg.LocalEpochs,
+			BatchSize: cfg.BatchSize,
+		}, nil
+	case "dfa-r":
+		return core.NewDFAR(dfaCfg)
+	case "dfa-g":
+		return core.NewDFAG(dfaCfg)
+	case "dfa-r-static":
+		dfaCfg.Trained = false
+		return core.NewDFAR(dfaCfg)
+	case "dfa-g-static":
+		dfaCfg.Trained = false
+		return core.NewDFAG(dfaCfg)
+	case "real-data":
+		// The adversary's real images follow the same Dirichlet assignment
+		// as benign users: it receives the shard of (malicious) client 0.
+		return core.NewRealData(dfaCfg, tk.train, tk.shards[0])
+	default:
+		return nil, fmt.Errorf("experiment: unknown attack %q", cfg.Attack)
+	}
+}
+
+func buildDefense(cfg Config, tk *task) (fl.Aggregator, error) {
+	switch cfg.Defense {
+	case "refd":
+		ref, err := core.BalancedReference(tk.test, cfg.RefPerClass)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewREFD(ref, tk.newModel, 1, cfg.RejectX)
+	case "refd-adaptive":
+		ref, err := core.BalancedReference(tk.test, cfg.RefPerClass)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewAdaptiveREFD(ref, tk.newModel, cfg.RejectX, 0.25, 4)
+	default:
+		return defense.ByName(cfg.Defense, cfg.FProxy)
+	}
+}
+
+// Run executes a single configuration without clean-baseline bookkeeping;
+// most callers want Runner.Run, which also fills CleanAcc and ASR.
+func Run(cfg Config) (*Outcome, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	tk, err := buildTask(cfg)
+	if err != nil {
+		return nil, err
+	}
+	atk, err := buildAttack(cfg, tk)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := buildDefense(cfg, tk)
+	if err != nil {
+		return nil, err
+	}
+	flCfg := fl.Config{
+		TotalClients: cfg.TotalClients,
+		PerRound:     cfg.PerRound,
+		AttackerFrac: cfg.AttackerFrac,
+		Rounds:       cfg.Rounds,
+		LocalEpochs:  cfg.LocalEpochs,
+		BatchSize:    cfg.BatchSize,
+		LR:           cfg.LR,
+		Seed:         cfg.Seed,
+		EvalEvery:    1,
+		EvalLimit:    cfg.EvalLimit,
+		Parallel:     cfg.Parallel,
+	}
+	if atk == nil {
+		flCfg.AttackerFrac = 0
+	}
+	sim, err := fl.NewSimulation(flCfg, tk.train, tk.test, tk.shards, tk.newModel, agg, atk)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{
+		Config:   cfg,
+		CleanAcc: math.NaN(),
+		MaxAcc:   res.MaxAccuracy,
+		FinalAcc: res.FinalAccuracy,
+		ASR:      math.NaN(),
+		DPR:      res.DPR(),
+	}
+	for _, rs := range res.Rounds {
+		out.AccTimeline = append(out.AccTimeline, rs.Accuracy)
+	}
+	if tracer, ok := atk.(lossTracer); ok {
+		out.SynthesisLoss = tracer.LossTrace()
+	}
+	return out, nil
+}

@@ -1,0 +1,262 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// tinyCfg returns a configuration that exercises the full pipeline in
+// milliseconds.
+func tinyCfg(attackName, defenseName string) Config {
+	return Config{
+		Dataset:         "tiny-sim",
+		Attack:          attackName,
+		Defense:         defenseName,
+		Beta:            0.5,
+		Seed:            1,
+		TotalClients:    10,
+		PerRound:        4,
+		Rounds:          3,
+		EvalLimit:       40,
+		SampleCount:     4,
+		SynthesisEpochs: 2,
+		RefPerClass:     4,
+		Parallel:        true,
+	}
+}
+
+func TestConfigNormalizeDefaults(t *testing.T) {
+	cfg := Config{}
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Dataset != "fashion-sim" || cfg.Attack != "none" || cfg.Defense != "fedavg" {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+	if cfg.TotalClients != 100 || cfg.PerRound != 10 || cfg.SampleCount != 50 {
+		t.Fatalf("paper defaults not applied: %+v", cfg)
+	}
+	if cfg.SynthesisEpochs != 5 {
+		t.Fatalf("fashion synthesis epochs = %d, want 5", cfg.SynthesisEpochs)
+	}
+	cifar := Config{Dataset: "cifar"}
+	if err := cifar.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if cifar.Dataset != "cifar-sim" {
+		t.Fatalf("alias not canonicalized: %q", cifar.Dataset)
+	}
+	if cifar.SynthesisEpochs != 10 {
+		t.Fatalf("cifar synthesis epochs = %d, want 10", cifar.SynthesisEpochs)
+	}
+	if cfg.AttackerFrac != 0 {
+		t.Fatal("clean config should keep AttackerFrac 0")
+	}
+	attacked := Config{Attack: "lie"}
+	if err := attacked.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if attacked.AttackerFrac != 0.2 {
+		t.Fatalf("attacked AttackerFrac = %v, want paper default 0.2", attacked.AttackerFrac)
+	}
+}
+
+func TestConfigNormalizeUnknownDataset(t *testing.T) {
+	cfg := Config{Dataset: "imagenet"}
+	if err := cfg.Normalize(); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestRunUnknownComponents(t *testing.T) {
+	bad := tinyCfg("teleport", "mkrum")
+	if _, err := Run(bad); err == nil {
+		t.Fatal("expected error for unknown attack")
+	}
+	bad = tinyCfg("lie", "forcefield")
+	if _, err := Run(bad); err == nil {
+		t.Fatal("expected error for unknown defense")
+	}
+}
+
+// TestRunAllAttackDefenseCombos smoke-tests every attack and defense name
+// the registry exposes, on the tiny task.
+func TestRunAllAttackDefenseCombos(t *testing.T) {
+	attacks := []string{"none", "random", "labelflip", "lie", "fang", "minmax", "minsum",
+		"dfa-r", "dfa-g", "dfa-r-static", "dfa-g-static", "real-data"}
+	for _, atk := range attacks {
+		out, err := Run(tinyCfg(atk, "mkrum"))
+		if err != nil {
+			t.Fatalf("attack %s: %v", atk, err)
+		}
+		if out.MaxAcc < 0 || out.MaxAcc > 1 {
+			t.Fatalf("attack %s: max accuracy %v out of range", atk, out.MaxAcc)
+		}
+		if len(out.AccTimeline) != 3 {
+			t.Fatalf("attack %s: timeline length %d", atk, len(out.AccTimeline))
+		}
+	}
+	defenses := []string{"fedavg", "median", "trmean", "krum", "mkrum", "bulyan", "foolsgold", "refd", "refd-adaptive"}
+	for _, def := range defenses {
+		out, err := Run(tinyCfg("lie", def))
+		if err != nil {
+			t.Fatalf("defense %s: %v", def, err)
+		}
+		if out.MaxAcc < 0 || out.MaxAcc > 1 {
+			t.Fatalf("defense %s: max accuracy %v out of range", def, out.MaxAcc)
+		}
+	}
+}
+
+func TestDFAExposesSynthesisLoss(t *testing.T) {
+	out, err := Run(tinyCfg("dfa-r", "median"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.SynthesisLoss) == 0 {
+		t.Fatal("DFA-R run should expose synthesis losses for Fig. 7")
+	}
+	out, err = Run(tinyCfg("lie", "median"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SynthesisLoss != nil {
+		t.Fatal("LIE run should not expose synthesis losses")
+	}
+}
+
+func TestRunnerFillsASRAndCachesBaseline(t *testing.T) {
+	r := NewRunner()
+	cfg := tinyCfg("lie", "mkrum")
+	out, err := r.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(out.CleanAcc) || math.IsNaN(out.ASR) {
+		t.Fatal("Runner.Run must fill CleanAcc and ASR")
+	}
+	clean1, err := r.CleanAccuracy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.cleanCache) != 1 {
+		t.Fatalf("cache has %d entries, want 1", len(r.cleanCache))
+	}
+	clean2, err := r.CleanAccuracy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean1 != clean2 || clean1 != out.CleanAcc {
+		t.Fatal("baseline cache inconsistent")
+	}
+}
+
+func TestRunnerSeedAveraging(t *testing.T) {
+	r := NewRunner()
+	r.AverageSeeds = 2
+	out, err := r.Run(tinyCfg("lie", "median"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MaxAcc <= 0 || out.MaxAcc > 1 {
+		t.Fatalf("averaged accuracy %v out of range", out.MaxAcc)
+	}
+	// Two baseline cache entries: one per seed.
+	if len(r.cleanCache) != 2 {
+		t.Fatalf("cache has %d entries, want 2", len(r.cleanCache))
+	}
+}
+
+func TestRunGridPreservesOrderAndParallelism(t *testing.T) {
+	r := NewRunner()
+	cfgs := []Config{
+		tinyCfg("lie", "mkrum"),
+		tinyCfg("fang", "median"),
+		tinyCfg("none", "fedavg"),
+	}
+	outs, err := r.RunGrid(cfgs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 3 {
+		t.Fatalf("got %d outcomes", len(outs))
+	}
+	for i := range cfgs {
+		if outs[i].Config.Attack != cfgs[i].Attack || outs[i].Config.Defense != cfgs[i].Defense {
+			t.Fatalf("outcome %d out of order: %s/%s", i, outs[i].Config.Attack, outs[i].Config.Defense)
+		}
+	}
+}
+
+func TestRunGridPropagatesErrors(t *testing.T) {
+	r := NewRunner()
+	cfgs := []Config{tinyCfg("lie", "mkrum"), tinyCfg("bogus", "mkrum")}
+	if _, err := r.RunGrid(cfgs, 2); err == nil {
+		t.Fatal("expected grid error for bogus attack")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("registry has %d experiments, want 15", len(all))
+	}
+	ids := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"table2", "table3", "table4", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "randomweights", "samplesize", "sybil"} {
+		if _, ok := ByID(want); !ok {
+			t.Errorf("experiment %q not registered", want)
+		}
+	}
+	if _, ok := ByID("table99"); ok {
+		t.Error("unknown id should not resolve")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	q, ok := ProfileByName("quick")
+	if !ok || q.Name != "quick" {
+		t.Fatal("quick profile missing")
+	}
+	f, ok := ProfileByName("full")
+	if !ok || f.SeedCount != 3 || f.SampleCount != 50 {
+		t.Fatalf("full profile should mirror the paper: %+v", f)
+	}
+	if _, ok := ProfileByName("warp"); ok {
+		t.Fatal("unknown profile should not resolve")
+	}
+	d, ok := ProfileByName("")
+	if !ok || d.Name != "quick" {
+		t.Fatal("empty profile name should default to quick")
+	}
+	cfg := q.Base("tiny-sim", "lie", "mkrum", 0.5)
+	if cfg.Rounds != q.Rounds || cfg.SampleCount != q.SampleCount || !cfg.Parallel {
+		t.Fatalf("Base did not apply profile: %+v", cfg)
+	}
+}
+
+func TestCleanKeyDistinguishesRuns(t *testing.T) {
+	a := tinyCfg("none", "fedavg")
+	b := a
+	b.Beta = 0.1
+	if a.cleanKey() == b.cleanKey() {
+		t.Fatal("different beta must produce different clean keys")
+	}
+	c := a
+	c.Seed = 99
+	if a.cleanKey() == c.cleanKey() {
+		t.Fatal("different seed must produce different clean keys")
+	}
+	if !strings.Contains(a.cleanKey(), "tiny-sim") {
+		t.Fatal("clean key should embed the dataset")
+	}
+}

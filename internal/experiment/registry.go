@@ -1,0 +1,428 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"text/tabwriter"
+)
+
+// Experiment is one reproducible unit of the paper's evaluation: a table or
+// figure, mapped to the grid of runs that regenerates it.
+type Experiment struct {
+	// ID is the registry key ("table2", "fig5", …).
+	ID string
+	// Title names the paper artifact.
+	Title string
+	// Run executes the experiment under the profile and writes the rows the
+	// paper reports.
+	Run func(r *Runner, p Profile, w io.Writer) error
+}
+
+// All returns the registered experiments in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "table2", Title: "Table II: ASR and max accuracy per dataset/defense/attack (β=0.5, 20% attackers)", Run: runTable2},
+		{ID: "fig4", Title: "Fig. 4: Defense pass rate (DPR) on mKrum and Bulyan (β=0.5)", Run: runFig4},
+		{ID: "fig5", Title: "Fig. 5: ASR vs data heterogeneity β under Bulyan", Run: runFig5},
+		{ID: "fig6", Title: "Fig. 6: ASR vs attacker proportion on mKrum and TRmean (Fashion)", Run: runFig6},
+		{ID: "fig7", Title: "Fig. 7: DFA local synthesis loss per epoch (Fashion)", Run: runFig7},
+		{ID: "table3", Title: "Table III: static vs trained synthesis (ASR/DPR)", Run: runTable3},
+		{ID: "table4", Title: "Table IV: distance-regularization ablation (ASR/DPR, Fashion)", Run: runTable4},
+		{ID: "fig8", Title: "Fig. 8: synthetic vs real attacker data (ASR)", Run: runFig8},
+		{ID: "fig9", Title: "Fig. 9: REFD vs Bulyan accuracy under DFA across heterogeneity", Run: runFig9},
+		{ID: "fig10", Title: "Fig. 10: accuracy of all defenses (incl. REFD) against all attacks (β=0.5)", Run: runFig10},
+		{ID: "randomweights", Title: "§III-B: random-weights attack DPR (motivating experiment)", Run: runRandomWeights},
+		{ID: "samplesize", Title: "§IV-A: |S| sensitivity of DFA (Fashion, mKrum)", Run: runSampleSize},
+		{ID: "sybil", Title: "§III-A extension: DFA vs the FoolsGold Sybil defense, with and without perturbation noise", Run: runSybil},
+		{ID: "adaptivealpha", Title: "§V extension: fixed vs adaptive REFD α (the paper's future-work direction)", Run: runAdaptiveAlpha},
+		{ID: "textdfa", Title: "§VI extension: DFA on text classification (RNN + embedding-space synthesis)", Run: runTextDFA},
+	}
+}
+
+// ByID resolves an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Canonical component lists of the evaluation section.
+var (
+	paperDatasets = []string{"fashion-sim", "cifar-sim", "svhn-sim"}
+	paperDefenses = []string{"mkrum", "bulyan", "trmean", "median"}
+	paperAttacks  = []string{"fang", "lie", "minmax", "dfa-r", "dfa-g"}
+)
+
+func fmtPct(v float64) string {
+	if math.IsNaN(v) {
+		return "N/A"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+}
+
+func runTable2(r *Runner, p Profile, w io.Writer) error {
+	var cfgs []Config
+	for _, ds := range paperDatasets {
+		for _, def := range paperDefenses {
+			for _, atk := range paperAttacks {
+				cfgs = append(cfgs, p.Base(ds, atk, def, 0.5))
+			}
+		}
+	}
+	outs, err := r.RunGrid(cfgs, p.Workers)
+	if err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "dataset\tdefense\tattack\tclean_acc%\tacc_m%\tASR%")
+	for _, o := range outs {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.2f\t%.2f\t%s\n",
+			o.Config.Dataset, o.Config.Defense, o.Config.Attack,
+			o.CleanAcc*100, o.MaxAcc*100, fmtPct(o.ASR))
+	}
+	return tw.Flush()
+}
+
+func runFig4(r *Runner, p Profile, w io.Writer) error {
+	var cfgs []Config
+	for _, ds := range paperDatasets {
+		for _, def := range []string{"mkrum", "bulyan"} {
+			for _, atk := range paperAttacks {
+				cfgs = append(cfgs, p.Base(ds, atk, def, 0.5))
+			}
+		}
+	}
+	outs, err := r.RunGrid(cfgs, p.Workers)
+	if err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "dataset\tdefense\tattack\tDPR%")
+	for _, o := range outs {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n",
+			o.Config.Dataset, o.Config.Defense, o.Config.Attack, fmtPct(o.DPR))
+	}
+	return tw.Flush()
+}
+
+func runFig5(r *Runner, p Profile, w io.Writer) error {
+	betas := []float64{0.1, 0.5, 0.9}
+	var cfgs []Config
+	for _, ds := range []string{"fashion-sim", "cifar-sim"} {
+		for _, beta := range betas {
+			for _, atk := range paperAttacks {
+				cfgs = append(cfgs, p.Base(ds, atk, "bulyan", beta))
+			}
+		}
+	}
+	outs, err := r.RunGrid(cfgs, p.Workers)
+	if err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "dataset\tattack\tbeta\tASR%")
+	for _, o := range outs {
+		fmt.Fprintf(tw, "%s\t%s\t%.1f\t%s\n",
+			o.Config.Dataset, o.Config.Attack, o.Config.Beta, fmtPct(o.ASR))
+	}
+	return tw.Flush()
+}
+
+func runFig6(r *Runner, p Profile, w io.Writer) error {
+	fracs := []float64{0.1, 0.2, 0.3}
+	var cfgs []Config
+	for _, def := range []string{"mkrum", "trmean"} {
+		for _, frac := range fracs {
+			for _, atk := range paperAttacks {
+				cfg := p.Base("fashion-sim", atk, def, 0.5)
+				cfg.AttackerFrac = frac
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	outs, err := r.RunGrid(cfgs, p.Workers)
+	if err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "defense\tattack\tattacker%\tASR%")
+	for _, o := range outs {
+		fmt.Fprintf(tw, "%s\t%s\t%.0f\t%s\n",
+			o.Config.Defense, o.Config.Attack, o.Config.AttackerFrac*100, fmtPct(o.ASR))
+	}
+	return tw.Flush()
+}
+
+func runFig7(r *Runner, p Profile, w io.Writer) error {
+	var cfgs []Config
+	for _, atk := range []string{"dfa-r", "dfa-g"} {
+		for _, def := range paperDefenses {
+			cfgs = append(cfgs, p.Base("fashion-sim", atk, def, 0.5))
+		}
+	}
+	outs, err := r.RunGrid(cfgs, p.Workers)
+	if err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "attack\tdefense\tepoch\tmean_synthesis_loss")
+	for _, o := range outs {
+		if len(o.SynthesisLoss) == 0 {
+			continue
+		}
+		epochs := len(o.SynthesisLoss[0])
+		for e := 0; e < epochs; e++ {
+			sum, n := 0.0, 0
+			for _, round := range o.SynthesisLoss {
+				if e < len(round) {
+					sum += round[e]
+					n++
+				}
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%.4f\n", o.Config.Attack, o.Config.Defense, e+1, sum/float64(n))
+		}
+	}
+	return tw.Flush()
+}
+
+func runTable3(r *Runner, p Profile, w io.Writer) error {
+	attacks := []string{"dfa-r", "dfa-r-static", "dfa-g", "dfa-g-static"}
+	var cfgs []Config
+	for _, ds := range []string{"fashion-sim", "cifar-sim"} {
+		for _, atk := range attacks {
+			for _, def := range paperDefenses {
+				cfgs = append(cfgs, p.Base(ds, atk, def, 0.5))
+			}
+		}
+	}
+	outs, err := r.RunGrid(cfgs, p.Workers)
+	if err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "dataset\tattack\tvariant\tdefense\tASR%\tDPR%")
+	for _, o := range outs {
+		variant := "trained"
+		name := o.Config.Attack
+		if len(name) > 7 && name[len(name)-7:] == "-static" {
+			variant = "static"
+			name = name[:len(name)-7]
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n",
+			o.Config.Dataset, name, variant, o.Config.Defense, fmtPct(o.ASR), fmtPct(o.DPR))
+	}
+	return tw.Flush()
+}
+
+func runTable4(r *Runner, p Profile, w io.Writer) error {
+	var cfgs []Config
+	for _, atk := range []string{"dfa-r", "dfa-g"} {
+		for _, noReg := range []bool{false, true} {
+			for _, def := range paperDefenses {
+				cfg := p.Base("fashion-sim", atk, def, 0.5)
+				cfg.NoReg = noReg
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	outs, err := r.RunGrid(cfgs, p.Workers)
+	if err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "attack\tregularization\tdefense\tASR%\tDPR%")
+	for _, o := range outs {
+		reg := "with"
+		if o.Config.NoReg {
+			reg = "without"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n",
+			o.Config.Attack, reg, o.Config.Defense, fmtPct(o.ASR), fmtPct(o.DPR))
+	}
+	return tw.Flush()
+}
+
+func runFig8(r *Runner, p Profile, w io.Writer) error {
+	var cfgs []Config
+	for _, ds := range []string{"fashion-sim", "cifar-sim"} {
+		for _, atk := range []string{"dfa-r", "dfa-g", "real-data"} {
+			for _, def := range paperDefenses {
+				cfgs = append(cfgs, p.Base(ds, atk, def, 0.5))
+			}
+		}
+	}
+	outs, err := r.RunGrid(cfgs, p.Workers)
+	if err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "dataset\tattack\tdefense\tASR%")
+	for _, o := range outs {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n",
+			o.Config.Dataset, o.Config.Attack, o.Config.Defense, fmtPct(o.ASR))
+	}
+	return tw.Flush()
+}
+
+func runFig9(r *Runner, p Profile, w io.Writer) error {
+	// Beta 0 encodes the i.i.d. setting.
+	betas := []float64{0, 0.9, 0.5, 0.1}
+	var cfgs []Config
+	for _, ds := range []string{"fashion-sim", "cifar-sim"} {
+		for _, atk := range []string{"dfa-r", "dfa-g"} {
+			for _, def := range []string{"bulyan", "refd"} {
+				for _, beta := range betas {
+					cfgs = append(cfgs, p.Base(ds, atk, def, beta))
+				}
+			}
+		}
+	}
+	outs, err := r.RunGrid(cfgs, p.Workers)
+	if err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "dataset\tattack\tdefense\theterogeneity\tacc_m%\tclean_acc%")
+	for _, o := range outs {
+		het := fmt.Sprintf("beta=%.1f", o.Config.Beta)
+		if o.Config.Beta == 0 {
+			het = "iid"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.2f\t%.2f\n",
+			o.Config.Dataset, o.Config.Attack, o.Config.Defense, het, o.MaxAcc*100, o.CleanAcc*100)
+	}
+	return tw.Flush()
+}
+
+func runFig10(r *Runner, p Profile, w io.Writer) error {
+	defenses := append(append([]string{}, paperDefenses...), "refd")
+	var cfgs []Config
+	for _, ds := range []string{"fashion-sim", "cifar-sim"} {
+		for _, atk := range paperAttacks {
+			for _, def := range defenses {
+				cfgs = append(cfgs, p.Base(ds, atk, def, 0.5))
+			}
+		}
+	}
+	outs, err := r.RunGrid(cfgs, p.Workers)
+	if err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "dataset\tattack\tdefense\tacc_m%\tclean_acc%")
+	for _, o := range outs {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.2f\t%.2f\n",
+			o.Config.Dataset, o.Config.Attack, o.Config.Defense, o.MaxAcc*100, o.CleanAcc*100)
+	}
+	return tw.Flush()
+}
+
+func runRandomWeights(r *Runner, p Profile, w io.Writer) error {
+	var cfgs []Config
+	for _, ds := range []string{"fashion-sim", "cifar-sim"} {
+		for _, def := range []string{"mkrum", "bulyan"} {
+			cfgs = append(cfgs, p.Base(ds, "random", def, 0.5))
+		}
+	}
+	outs, err := r.RunGrid(cfgs, p.Workers)
+	if err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "dataset\tdefense\tDPR%\tASR%")
+	for _, o := range outs {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n",
+			o.Config.Dataset, o.Config.Defense, fmtPct(o.DPR), fmtPct(o.ASR))
+	}
+	return tw.Flush()
+}
+
+// runSybil reproduces the Section III-A claim that Sybil defenses such as
+// FoolsGold are easily circumvented by adding small perturbation noise to
+// the attackers' otherwise identical updates.
+func runSybil(r *Runner, p Profile, w io.Writer) error {
+	var cfgs []Config
+	for _, atk := range []string{"dfa-r", "dfa-g"} {
+		for _, perturb := range []float64{0, 1e-3} {
+			cfg := p.Base("fashion-sim", atk, "foolsgold", 0.5)
+			cfg.PerturbStd = perturb
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	outs, err := r.RunGrid(cfgs, p.Workers)
+	if err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "attack\tperturbation\tASR%\tDPR%")
+	for _, o := range outs {
+		mode := "identical updates"
+		if o.Config.PerturbStd > 0 {
+			mode = fmt.Sprintf("noise std %g", o.Config.PerturbStd)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n",
+			o.Config.Attack, mode, fmtPct(o.ASR), fmtPct(o.DPR))
+	}
+	return tw.Flush()
+}
+
+// runAdaptiveAlpha compares REFD with its fixed α = 1 against the adaptive-α
+// variant the paper names as future work, across the attack spectrum.
+func runAdaptiveAlpha(r *Runner, p Profile, w io.Writer) error {
+	var cfgs []Config
+	attacks := []string{"lie", "minmax", "dfa-r", "dfa-g"}
+	for _, atk := range attacks {
+		for _, def := range []string{"refd", "refd-adaptive"} {
+			cfgs = append(cfgs, p.Base("fashion-sim", atk, def, 0.5))
+		}
+	}
+	outs, err := r.RunGrid(cfgs, p.Workers)
+	if err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "attack\tdefense\tacc_m%\tASR%\tDPR%")
+	for _, o := range outs {
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%s\t%s\n",
+			o.Config.Attack, o.Config.Defense, o.MaxAcc*100, fmtPct(o.ASR), fmtPct(o.DPR))
+	}
+	return tw.Flush()
+}
+
+func runSampleSize(r *Runner, p Profile, w io.Writer) error {
+	sizes := []int{20, 50, 100}
+	var cfgs []Config
+	for _, atk := range []string{"dfa-r", "dfa-g"} {
+		for _, s := range sizes {
+			cfg := p.Base("fashion-sim", atk, "mkrum", 0.5)
+			cfg.SampleCount = s
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	outs, err := r.RunGrid(cfgs, p.Workers)
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(outs, func(i, j int) bool {
+		if outs[i].Config.Attack != outs[j].Config.Attack {
+			return outs[i].Config.Attack < outs[j].Config.Attack
+		}
+		return outs[i].Config.SampleCount < outs[j].Config.SampleCount
+	})
+	tw := newTab(w)
+	fmt.Fprintln(tw, "attack\t|S|\tASR%\tDPR%")
+	for _, o := range outs {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\n",
+			o.Config.Attack, o.Config.SampleCount, fmtPct(o.ASR), fmtPct(o.DPR))
+	}
+	return tw.Flush()
+}

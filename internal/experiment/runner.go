@@ -1,0 +1,173 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/fl"
+)
+
+// Runner executes configurations and caches the clean "no attack, no
+// defense" accuracy baselines (the acc of Eq. 4), so that a grid of attacked
+// runs over one dataset pays for its baseline only once.
+type Runner struct {
+	mu         sync.Mutex
+	cleanCache map[string]float64
+	// AverageSeeds runs every config with this many consecutive seeds and
+	// averages the metrics, as the paper averages over three runs.
+	// 0 means a single run.
+	AverageSeeds int
+}
+
+// NewRunner returns a Runner with an empty baseline cache.
+func NewRunner() *Runner {
+	return &Runner{cleanCache: make(map[string]float64)}
+}
+
+// CleanAccuracy returns the cached or freshly computed clean baseline
+// accuracy for cfg's dataset/heterogeneity/seed.
+func (r *Runner) CleanAccuracy(cfg Config) (float64, error) {
+	if err := cfg.Normalize(); err != nil {
+		return 0, err
+	}
+	clean := cfg
+	clean.Attack = "none"
+	clean.Defense = "fedavg"
+	clean.AttackerFrac = 0
+	key := clean.cleanKey()
+
+	r.mu.Lock()
+	if acc, ok := r.cleanCache[key]; ok {
+		r.mu.Unlock()
+		return acc, nil
+	}
+	r.mu.Unlock()
+
+	out, err := Run(clean)
+	if err != nil {
+		return 0, fmt.Errorf("experiment: clean baseline: %w", err)
+	}
+	r.mu.Lock()
+	r.cleanCache[key] = out.MaxAcc
+	r.mu.Unlock()
+	return out.MaxAcc, nil
+}
+
+// Run executes cfg (averaging over seeds when configured) and fills
+// CleanAcc and ASR from the matching clean baseline.
+func (r *Runner) Run(cfg Config) (*Outcome, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	seeds := r.AverageSeeds
+	if seeds <= 1 {
+		return r.runOne(cfg)
+	}
+	var agg *Outcome
+	for s := 0; s < seeds; s++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(s)*1000003
+		out, err := r.runOne(c)
+		if err != nil {
+			return nil, err
+		}
+		if agg == nil {
+			agg = out
+			continue
+		}
+		agg.CleanAcc += out.CleanAcc
+		agg.MaxAcc += out.MaxAcc
+		agg.FinalAcc += out.FinalAcc
+		agg.ASR += out.ASR
+		agg.DPR += out.DPR // NaN propagates, as desired
+	}
+	inv := 1.0 / float64(seeds)
+	agg.CleanAcc *= inv
+	agg.MaxAcc *= inv
+	agg.FinalAcc *= inv
+	agg.ASR *= inv
+	agg.DPR *= inv
+	agg.Config = cfg
+	return agg, nil
+}
+
+func (r *Runner) runOne(cfg Config) (*Outcome, error) {
+	out, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	clean, err := r.CleanAccuracy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.CleanAcc = clean
+	out.ASR = fl.ASR(clean*100, out.MaxAcc*100)
+	return out, nil
+}
+
+// RunGrid executes the configurations concurrently (bounded by workers;
+// workers <= 0 uses GOMAXPROCS) and returns outcomes in input order. Clean
+// baselines are computed first so concurrent cells never duplicate them.
+func (r *Runner) RunGrid(cfgs []Config, workers int) ([]*Outcome, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	// Warm the baseline cache serially (deduplicated by key).
+	seen := make(map[string]bool)
+	for _, cfg := range cfgs {
+		c := cfg
+		if err := c.Normalize(); err != nil {
+			return nil, err
+		}
+		clean := c
+		clean.Attack = "none"
+		clean.Defense = "fedavg"
+		clean.AttackerFrac = 0
+		key := clean.cleanKey()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		seeds := r.AverageSeeds
+		if seeds <= 1 {
+			seeds = 1
+		}
+		for s := 0; s < seeds; s++ {
+			cs := c
+			cs.Seed = c.Seed + int64(s)*1000003
+			if _, err := r.CleanAccuracy(cs); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	outcomes := make([]*Outcome, len(cfgs))
+	errs := make([]error, len(cfgs))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				outcomes[i], errs[i] = r.Run(cfgs[i])
+			}
+		}()
+	}
+	for i := range cfgs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiment: grid cell %d (%s/%s/%s): %w",
+				i, cfgs[i].Dataset, cfgs[i].Attack, cfgs[i].Defense, err)
+		}
+	}
+	return outcomes, nil
+}

@@ -1,0 +1,71 @@
+package fl
+
+import (
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+)
+
+// BenignClient owns a private data shard and faithfully executes local
+// training (Eq. 1): initialize from the global model, run LocalEpochs of
+// minibatch SGD on the shard, and return the resulting weights.
+type BenignClient struct {
+	id          int
+	data        *dataset.Dataset
+	shard       []int
+	model       *nn.Network
+	opt         *nn.SGD
+	localEpochs int
+	batchSize   int
+	rng         *rand.Rand
+	scratch     []int
+}
+
+// NewBenignClient creates a client training on data[shard].
+func NewBenignClient(id int, data *dataset.Dataset, shard []int, model *nn.Network, lr float64, localEpochs, batchSize int, rng *rand.Rand) *BenignClient {
+	return &BenignClient{
+		id:          id,
+		data:        data,
+		shard:       append([]int(nil), shard...),
+		model:       model,
+		opt:         nn.NewSGD(lr, 0),
+		localEpochs: localEpochs,
+		batchSize:   batchSize,
+		rng:         rng,
+		scratch:     make([]int, len(shard)),
+	}
+}
+
+// ID returns the client identifier.
+func (c *BenignClient) ID() int { return c.id }
+
+// NumSamples returns the client's shard size n_i.
+func (c *BenignClient) NumSamples() int { return len(c.shard) }
+
+// Train runs local training from the given global weights and returns the
+// client's update.
+func (c *BenignClient) Train(global []float64) (Update, error) {
+	if err := c.model.SetWeightVector(global); err != nil {
+		return Update{}, err
+	}
+	copy(c.scratch, c.shard)
+	for e := 0; e < c.localEpochs; e++ {
+		c.rng.Shuffle(len(c.scratch), func(i, j int) {
+			c.scratch[i], c.scratch[j] = c.scratch[j], c.scratch[i]
+		})
+		for start := 0; start < len(c.scratch); start += c.batchSize {
+			end := start + c.batchSize
+			if end > len(c.scratch) {
+				end = len(c.scratch)
+			}
+			x, labels := c.data.Batch(c.scratch[start:end])
+			nn.TrainBatch(c.model, c.opt, x, labels)
+		}
+	}
+	return Update{
+		ClientID:   c.id,
+		Weights:    c.model.WeightVector(),
+		NumSamples: len(c.shard),
+	}, nil
+}

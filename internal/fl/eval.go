@@ -1,0 +1,90 @@
+package fl
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+)
+
+// evalBatch is the forward-pass batch size used during evaluation.
+const evalBatch = 64
+
+// Evaluate returns the model's top-1 accuracy on the first limit samples of
+// the dataset (limit <= 0 means all). When parallel is true the evaluation
+// batches are spread over the available CPUs, each worker using its own
+// model clone so no layer state is shared.
+func Evaluate(model *nn.Network, ds *dataset.Dataset, limit int, parallel bool) float64 {
+	n := ds.Len()
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	if n == 0 {
+		return 0
+	}
+	type chunk struct{ start, end int }
+	var chunks []chunk
+	for start := 0; start < n; start += evalBatch {
+		end := start + evalBatch
+		if end > n {
+			end = n
+		}
+		chunks = append(chunks, chunk{start, end})
+	}
+
+	countCorrect := func(m *nn.Network, c chunk) int {
+		idx := make([]int, c.end-c.start)
+		for i := range idx {
+			idx[i] = c.start + i
+		}
+		x, labels := ds.Batch(idx)
+		preds := nn.Predict(m.Forward(x, false))
+		correct := 0
+		for i, p := range preds {
+			if p == labels[i] {
+				correct++
+			}
+		}
+		return correct
+	}
+
+	if !parallel || len(chunks) == 1 {
+		correct := 0
+		for _, c := range chunks {
+			correct += countCorrect(model, c)
+		}
+		return float64(correct) / float64(n)
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	work := make(chan chunk)
+	results := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := model.Clone()
+			for c := range work {
+				results <- countCorrect(m, c)
+			}
+		}()
+	}
+	go func() {
+		for _, c := range chunks {
+			work <- c
+		}
+		close(work)
+		wg.Wait()
+		close(results)
+	}()
+	correct := 0
+	for r := range results {
+		correct += r
+	}
+	return float64(correct) / float64(n)
+}

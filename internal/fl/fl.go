@@ -1,0 +1,130 @@
+// Package fl implements the federated-learning framework of the paper's
+// experimental setup (Section II-A and IV-A): a population of clients, a
+// central server that selects a subset per round, local training on private
+// shards, pluggable robust aggregation, and the metric accounting for
+// attack success rate (ASR) and defense pass rate (DPR).
+package fl
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// Update is one client's submission for a round: the full local model weight
+// vector w_i(t+1) (Eq. 1) plus the metadata the server legitimately knows.
+type Update struct {
+	// ClientID identifies the submitting client.
+	ClientID int
+	// Weights is the flat local model weight vector.
+	Weights []float64
+	// NumSamples is the client's reported training-set size n_i (Eq. 2).
+	NumSamples int
+	// Malicious marks updates crafted by the adversary. The server never
+	// reads this field; it exists purely for metric accounting.
+	Malicious bool
+}
+
+// Aggregator is a server-side aggregation rule, possibly Byzantine-robust.
+type Aggregator interface {
+	// Name returns the defense's display name.
+	Name() string
+	// Aggregate combines the round's updates into new global weights.
+	// For selection-based defenses (Krum-family, REFD) the second return
+	// value lists the indices of updates included in the aggregate, which
+	// drives the DPR metric; statistics-based defenses (median, trimmed
+	// mean) return nil because "passing" is undefined for them (Eq. 5
+	// discussion in the paper).
+	Aggregate(global []float64, updates []Update) (newGlobal []float64, selected []int, err error)
+}
+
+// AttackContext is everything the adversary may see in one round. The
+// fields mirror Table I of the paper: DFA uses only the global models and
+// task metadata, whereas the baseline attacks additionally read the benign
+// updates oracle.
+type AttackContext struct {
+	// Round is the current round index, starting at 0.
+	Round int
+	// Global is the current global weight vector w(t).
+	Global []float64
+	// PrevGlobal is the previous round's global weight vector w(t−1); equal
+	// to Global in round 0.
+	PrevGlobal []float64
+	// BenignUpdates holds the weight vectors of this round's benign
+	// updates. Only knowledge-assuming baseline attacks (LIE, Fang,
+	// Min-Max/Min-Sum) may read it; DFA must not.
+	BenignUpdates [][]float64
+	// NumAttackers is the number of malicious clients selected this round.
+	NumAttackers int
+	// NumSelected is the total number of clients selected this round.
+	NumSelected int
+	// TotalClients and TotalAttackers describe the whole population.
+	TotalClients, TotalAttackers int
+	// NewModel constructs a model with the experiment's architecture; the
+	// adversary legitimately knows the architecture because the server
+	// distributes the model.
+	NewModel func(rng *rand.Rand) *nn.Network
+	// Rng is the adversary's private randomness source.
+	Rng *rand.Rand
+}
+
+// Attack crafts the adversary's submissions for a round.
+type Attack interface {
+	// Name returns the attack's display name.
+	Name() string
+	// Craft returns one malicious weight vector per selected attacker. The
+	// paper allows all attackers to submit the same update; implementations
+	// may instead add small perturbations to evade Sybil defenses.
+	Craft(ctx *AttackContext) ([][]float64, error)
+}
+
+// ASR computes the attack success rate of Eq. 4: the relative accuracy drop
+// from the clean (no attack, no defense) accuracy to the best accuracy the
+// global model reached under attack, in percent.
+func ASR(cleanAcc, maxAttackedAcc float64) float64 {
+	if cleanAcc == 0 {
+		return 0
+	}
+	return (cleanAcc - maxAttackedAcc) / cleanAcc * 100
+}
+
+// RoundStats records what happened in a single round.
+type RoundStats struct {
+	// Round is the round index.
+	Round int
+	// Accuracy is the global model's test accuracy after aggregation, in
+	// [0, 1]; NaN when the round was not evaluated.
+	Accuracy float64
+	// SelectedMalicious is the number of malicious clients selected.
+	SelectedMalicious int
+	// PassedMalicious is the number of malicious updates the defense let
+	// into the aggregate (−1 when the defense does not report selection).
+	PassedMalicious int
+}
+
+// Result aggregates a full simulation run.
+type Result struct {
+	// Rounds holds per-round statistics.
+	Rounds []RoundStats
+	// MaxAccuracy is the paper's acc_m: the best evaluated accuracy over
+	// the run, in [0, 1].
+	MaxAccuracy float64
+	// FinalAccuracy is the accuracy after the last round.
+	FinalAccuracy float64
+	// MaliciousSubmitted and MaliciousPassed accumulate the DPR numerator
+	// and denominator of Eq. 5 over all rounds.
+	MaliciousSubmitted, MaliciousPassed int
+	// DPRKnown reports whether the defense exposes selection (mKrum,
+	// Bulyan, REFD); when false DPR is undefined ("N/A" in the paper).
+	DPRKnown bool
+}
+
+// DPR returns the defense pass rate of Eq. 5 in percent, or NaN when the
+// defense does not report selection or no attacker was ever selected.
+func (r *Result) DPR() float64 {
+	if !r.DPRKnown || r.MaliciousSubmitted == 0 {
+		return math.NaN()
+	}
+	return float64(r.MaliciousPassed) / float64(r.MaliciousSubmitted) * 100
+}

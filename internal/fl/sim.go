@@ -1,0 +1,303 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+)
+
+// Config holds the simulation parameters of Section IV-A.
+type Config struct {
+	// TotalClients is N, the population size (paper: 100).
+	TotalClients int
+	// PerRound is K, the number of clients selected each round (paper: 10).
+	PerRound int
+	// AttackerFrac is the fraction of malicious clients (paper: 0.2).
+	AttackerFrac float64
+	// Rounds is R, the number of global training rounds.
+	Rounds int
+	// LocalEpochs is the number of local epochs per round (paper: 1).
+	LocalEpochs int
+	// BatchSize is the local minibatch size.
+	BatchSize int
+	// LR is the global uniform learning rate η.
+	LR float64
+	// Seed drives all simulation randomness.
+	Seed int64
+	// EvalEvery evaluates the global model every EvalEvery rounds (1 =
+	// every round, which the ASR metric assumes).
+	EvalEvery int
+	// EvalLimit caps the number of test samples per evaluation (0 = all).
+	EvalLimit int
+	// Parallel trains the selected clients concurrently.
+	Parallel bool
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.TotalClients <= 0:
+		return errors.New("fl: TotalClients must be positive")
+	case c.PerRound <= 0 || c.PerRound > c.TotalClients:
+		return fmt.Errorf("fl: PerRound %d out of range (1..%d)", c.PerRound, c.TotalClients)
+	case c.AttackerFrac < 0 || c.AttackerFrac > 0.5:
+		// The threat model caps attackers at 50% of clients.
+		return fmt.Errorf("fl: AttackerFrac %v outside [0, 0.5]", c.AttackerFrac)
+	case c.Rounds <= 0:
+		return errors.New("fl: Rounds must be positive")
+	case c.LocalEpochs <= 0:
+		return errors.New("fl: LocalEpochs must be positive")
+	case c.BatchSize <= 0:
+		return errors.New("fl: BatchSize must be positive")
+	case c.LR <= 0:
+		return errors.New("fl: LR must be positive")
+	case c.EvalEvery <= 0:
+		return errors.New("fl: EvalEvery must be positive")
+	}
+	return nil
+}
+
+// Simulation wires a dataset, a model architecture, an aggregation rule and
+// optionally an attack into the federated round loop.
+type Simulation struct {
+	cfg        Config
+	train      *dataset.Dataset
+	test       *dataset.Dataset
+	shards     [][]int
+	malicious  []bool
+	newModel   func(rng *rand.Rand) *nn.Network
+	aggregator Aggregator
+	attack     Attack
+
+	clients []*BenignClient
+	global  *nn.Network
+}
+
+// NewSimulation constructs a simulation. shards assigns training-sample
+// indices to each of cfg.TotalClients clients (see dataset.PartitionDirichlet);
+// attack may be nil for a clean run. The first ⌊AttackerFrac·N⌋ client IDs
+// are designated malicious; because selection each round is uniform, which
+// IDs carry the flag is immaterial.
+func NewSimulation(cfg Config, train, test *dataset.Dataset, shards [][]int,
+	newModel func(rng *rand.Rand) *nn.Network, agg Aggregator, attack Attack) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(shards) != cfg.TotalClients {
+		return nil, fmt.Errorf("fl: %d shards for %d clients", len(shards), cfg.TotalClients)
+	}
+	if agg == nil {
+		return nil, errors.New("fl: aggregator must not be nil")
+	}
+	s := &Simulation{
+		cfg:        cfg,
+		train:      train,
+		test:       test,
+		shards:     shards,
+		newModel:   newModel,
+		aggregator: agg,
+		attack:     attack,
+	}
+	numAttackers := int(float64(cfg.TotalClients) * cfg.AttackerFrac)
+	if attack == nil {
+		numAttackers = 0
+	}
+	s.malicious = make([]bool, cfg.TotalClients)
+	for i := 0; i < numAttackers; i++ {
+		s.malicious[i] = true
+	}
+	s.clients = make([]*BenignClient, cfg.TotalClients)
+	for i := 0; i < cfg.TotalClients; i++ {
+		if s.malicious[i] {
+			continue
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919 + 1))
+		s.clients[i] = NewBenignClient(i, train, shards[i], newModel(rng), cfg.LR, cfg.LocalEpochs, cfg.BatchSize, rng)
+	}
+	s.global = newModel(rand.New(rand.NewSource(cfg.Seed)))
+	return s, nil
+}
+
+// GlobalWeights returns a copy of the current global weight vector.
+func (s *Simulation) GlobalWeights() []float64 {
+	return s.global.WeightVector()
+}
+
+// NumAttackers returns the number of malicious clients in the population.
+func (s *Simulation) NumAttackers() int {
+	n := 0
+	for _, m := range s.malicious {
+		if m {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes the configured number of rounds and returns the result.
+func (s *Simulation) Run() (*Result, error) {
+	selRng := rand.New(rand.NewSource(s.cfg.Seed ^ 0x5DEECE66D))
+	atkRng := rand.New(rand.NewSource(s.cfg.Seed ^ 0x2545F4914F6CDD1D))
+	res := &Result{MaxAccuracy: 0, FinalAccuracy: math.NaN()}
+
+	global := s.global.WeightVector()
+	prevGlobal := append([]float64(nil), global...)
+	totalAttackers := s.NumAttackers()
+
+	for round := 0; round < s.cfg.Rounds; round++ {
+		selected := selRng.Perm(s.cfg.TotalClients)[:s.cfg.PerRound]
+
+		var benignIDs, attackerIDs []int
+		for _, id := range selected {
+			if s.malicious[id] {
+				attackerIDs = append(attackerIDs, id)
+			} else {
+				benignIDs = append(benignIDs, id)
+			}
+		}
+
+		benignUpdates, err := s.trainBenign(benignIDs, global)
+		if err != nil {
+			return nil, fmt.Errorf("round %d: %w", round, err)
+		}
+
+		updates := benignUpdates
+		if len(attackerIDs) > 0 && s.attack != nil {
+			benignVecs := make([][]float64, len(benignUpdates))
+			for i, u := range benignUpdates {
+				benignVecs[i] = u.Weights
+			}
+			ctx := &AttackContext{
+				Round:          round,
+				Global:         global,
+				PrevGlobal:     prevGlobal,
+				BenignUpdates:  benignVecs,
+				NumAttackers:   len(attackerIDs),
+				NumSelected:    s.cfg.PerRound,
+				TotalClients:   s.cfg.TotalClients,
+				TotalAttackers: totalAttackers,
+				NewModel:       s.newModel,
+				Rng:            atkRng,
+			}
+			malVecs, err := s.attack.Craft(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("round %d: attack %s: %w", round, s.attack.Name(), err)
+			}
+			if len(malVecs) != len(attackerIDs) {
+				return nil, fmt.Errorf("round %d: attack returned %d vectors for %d attackers", round, len(malVecs), len(attackerIDs))
+			}
+			// Attackers report a plausible sample count (the mean benign
+			// shard size) so weighted aggregation cannot trivially expose
+			// them.
+			meanN := s.meanShardSize()
+			for i, id := range attackerIDs {
+				if len(malVecs[i]) != len(global) {
+					return nil, fmt.Errorf("round %d: malicious vector %d has length %d, want %d", round, i, len(malVecs[i]), len(global))
+				}
+				updates = append(updates, Update{
+					ClientID:   id,
+					Weights:    malVecs[i],
+					NumSamples: meanN,
+					Malicious:  true,
+				})
+			}
+		}
+
+		newGlobal, selectedIdx, err := s.aggregator.Aggregate(global, updates)
+		if err != nil {
+			return nil, fmt.Errorf("round %d: defense %s: %w", round, s.aggregator.Name(), err)
+		}
+		if len(newGlobal) != len(global) {
+			return nil, fmt.Errorf("round %d: defense returned %d weights, want %d", round, len(newGlobal), len(global))
+		}
+
+		stats := RoundStats{Round: round, Accuracy: math.NaN(), SelectedMalicious: len(attackerIDs), PassedMalicious: -1}
+		if selectedIdx != nil {
+			res.DPRKnown = true
+			passed := 0
+			for _, idx := range selectedIdx {
+				if idx < 0 || idx >= len(updates) {
+					return nil, fmt.Errorf("round %d: defense selected out-of-range update %d", round, idx)
+				}
+				if updates[idx].Malicious {
+					passed++
+				}
+			}
+			stats.PassedMalicious = passed
+			res.MaliciousPassed += passed
+		}
+		res.MaliciousSubmitted += len(attackerIDs)
+
+		prevGlobal = global
+		global = newGlobal
+		if err := s.global.SetWeightVector(global); err != nil {
+			return nil, err
+		}
+
+		if (round+1)%s.cfg.EvalEvery == 0 || round == s.cfg.Rounds-1 {
+			acc := Evaluate(s.global, s.test, s.cfg.EvalLimit, s.cfg.Parallel)
+			stats.Accuracy = acc
+			if acc > res.MaxAccuracy {
+				res.MaxAccuracy = acc
+			}
+			res.FinalAccuracy = acc
+		}
+		res.Rounds = append(res.Rounds, stats)
+	}
+	return res, nil
+}
+
+func (s *Simulation) meanShardSize() int {
+	total, n := 0, 0
+	for i, c := range s.clients {
+		if s.malicious[i] || c == nil {
+			continue
+		}
+		total += c.NumSamples()
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return total / n
+}
+
+func (s *Simulation) trainBenign(ids []int, global []float64) ([]Update, error) {
+	updates := make([]Update, len(ids))
+	if !s.cfg.Parallel || len(ids) <= 1 {
+		for i, id := range ids {
+			u, err := s.clients[id].Train(global)
+			if err != nil {
+				return nil, err
+			}
+			updates[i] = u
+		}
+		return updates, nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(ids))
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i, id int) {
+			defer wg.Done()
+			u, err := s.clients[id].Train(global)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			updates[i] = u
+		}(i, id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return updates, nil
+}

@@ -1,0 +1,152 @@
+package flnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/fl"
+	"repro/internal/nn"
+)
+
+// Trainer produces the client's update for a round — the client-side
+// counterpart of fl.Attack/fl.BenignClient, spanning both honest and
+// adversarial behaviour.
+type Trainer interface {
+	// Train receives the round's global and previous-global weights and
+	// returns the local weights plus the reported sample count.
+	Train(round int, global, prevGlobal []float64) (weights []float64, numSamples int, err error)
+}
+
+// BenignTrainer runs honest local SGD on a private shard (Eq. 1).
+type BenignTrainer struct {
+	client *fl.BenignClient
+}
+
+var _ Trainer = (*BenignTrainer)(nil)
+
+// NewBenignTrainer builds the honest behaviour over data[shard].
+func NewBenignTrainer(data *dataset.Dataset, shard []int, newModel func(rng *rand.Rand) *nn.Network, lr float64, localEpochs, batchSize int, rng *rand.Rand) *BenignTrainer {
+	return &BenignTrainer{
+		client: fl.NewBenignClient(0, data, shard, newModel(rng), lr, localEpochs, batchSize, rng),
+	}
+}
+
+// Train implements Trainer.
+func (t *BenignTrainer) Train(_ int, global, _ []float64) ([]float64, int, error) {
+	u, err := t.client.Train(global)
+	if err != nil {
+		return nil, 0, err
+	}
+	return u.Weights, u.NumSamples, nil
+}
+
+// AttackTrainer adapts any fl.Attack (including the data-free DFA variants)
+// to the networked client loop. Each networked attacker crafts one update
+// per request, with exactly the knowledge the wire gives it: the global
+// model, the previous global model, and nothing else.
+type AttackTrainer struct {
+	attack     fl.Attack
+	newModel   func(rng *rand.Rand) *nn.Network
+	rng        *rand.Rand
+	numSamples int
+}
+
+var _ Trainer = (*AttackTrainer)(nil)
+
+// NewAttackTrainer wraps an attack; numSamples is the plausible n_i the
+// adversary reports.
+func NewAttackTrainer(attack fl.Attack, newModel func(rng *rand.Rand) *nn.Network, rng *rand.Rand, numSamples int) *AttackTrainer {
+	return &AttackTrainer{attack: attack, newModel: newModel, rng: rng, numSamples: numSamples}
+}
+
+// Train implements Trainer.
+func (t *AttackTrainer) Train(round int, global, prevGlobal []float64) ([]float64, int, error) {
+	ctx := &fl.AttackContext{
+		Round:        round,
+		Global:       global,
+		PrevGlobal:   prevGlobal,
+		NumAttackers: 1,
+		NumSelected:  1,
+		NewModel:     t.newModel,
+		Rng:          t.rng,
+	}
+	vecs, err := t.attack.Craft(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(vecs) != 1 {
+		return nil, 0, fmt.Errorf("flnet: attack returned %d vectors, want 1", len(vecs))
+	}
+	return vecs[0], t.numSamples, nil
+}
+
+// Client is one networked federation participant.
+type Client struct {
+	conn    *Conn
+	trainer Trainer
+	// ID is the server-assigned identity, valid after Join.
+	ID int
+}
+
+// Dial connects to the server and performs the join handshake.
+func Dial(addr string, trainer Trainer, timeout time.Duration) (*Client, error) {
+	if trainer == nil {
+		return nil, errors.New("flnet: trainer must not be nil")
+	}
+	raw, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("flnet: dial %s: %w", addr, err)
+	}
+	conn := NewConn(raw, timeout)
+	if err := conn.Send(&Envelope{Type: MsgJoin}); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	ack, err := conn.Recv()
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("flnet: join ack: %w", err)
+	}
+	if ack.Type != MsgJoinAck {
+		_ = conn.Close()
+		return nil, errProtocol(MsgJoinAck, ack)
+	}
+	return &Client{conn: conn, trainer: trainer, ID: ack.ClientID}, nil
+}
+
+// Run serves training requests until the server sends Done (returning the
+// final global weights) or the connection fails.
+func (c *Client) Run() ([]float64, error) {
+	defer func() { _ = c.conn.Close() }()
+	for {
+		msg, err := c.conn.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("flnet: client %d: %w", c.ID, err)
+		}
+		switch msg.Type {
+		case MsgDone:
+			return msg.Weights, nil
+		case MsgTrainRequest:
+			weights, n, err := c.trainer.Train(msg.Round, msg.Weights, msg.PrevWeights)
+			if err != nil {
+				return nil, fmt.Errorf("flnet: client %d train: %w", c.ID, err)
+			}
+			resp := &Envelope{
+				Type:       MsgUpdate,
+				Round:      msg.Round,
+				ClientID:   c.ID,
+				Weights:    weights,
+				NumSamples: n,
+			}
+			if err := c.conn.Send(resp); err != nil {
+				return nil, fmt.Errorf("flnet: client %d reply: %w", c.ID, err)
+			}
+		default:
+			return nil, fmt.Errorf("flnet: client %d: unexpected %s", c.ID, msg.Type)
+		}
+	}
+}

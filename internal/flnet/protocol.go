@@ -1,0 +1,183 @@
+// Package flnet is the networked deployment of the federated-learning
+// system: a TCP server that drives the paper's round loop (select clients,
+// broadcast the global model, collect updates, robust-aggregate) and client
+// processes — benign trainers or attack adversaries — that speak a
+// length-prefixed gob protocol. The in-process simulator (internal/fl) and
+// this package share the Aggregator/Attack interfaces, so every defense and
+// attack of the reproduction also runs over a real network boundary.
+package flnet
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// MsgType discriminates protocol envelopes.
+type MsgType int
+
+// Protocol message types. A session is: client sends Join; server replies
+// JoinAck; then for every round the server sends TrainRequest to the
+// selected clients, which reply with Update; the server ends the session
+// with Done carrying the final global weights.
+const (
+	MsgJoin MsgType = iota + 1
+	MsgJoinAck
+	MsgTrainRequest
+	MsgUpdate
+	MsgDone
+)
+
+// String returns the message-type name.
+func (t MsgType) String() string {
+	switch t {
+	case MsgJoin:
+		return "join"
+	case MsgJoinAck:
+		return "joinack"
+	case MsgTrainRequest:
+		return "trainrequest"
+	case MsgUpdate:
+		return "update"
+	case MsgDone:
+		return "done"
+	default:
+		return fmt.Sprintf("msgtype(%d)", int(t))
+	}
+}
+
+// Envelope is the single wire message of the protocol; fields are used
+// depending on Type.
+type Envelope struct {
+	// Type discriminates the message.
+	Type MsgType
+	// Round is the round index of TrainRequest/Update messages.
+	Round int
+	// ClientID is assigned by the server in JoinAck and echoed in Update.
+	ClientID int
+	// Weights carries the global model (TrainRequest, Done) or the local
+	// update (Update).
+	Weights []float64
+	// PrevWeights carries w(t−1) in TrainRequest so data-free attackers can
+	// evaluate their distance regularization, exactly the information a
+	// real client would have retained from the previous round.
+	PrevWeights []float64
+	// NumSamples is the client's reported n_i in Update messages.
+	NumSamples int
+}
+
+// maxFrameSize bounds a frame to guard against corrupted length prefixes.
+const maxFrameSize = 64 << 20 // 64 MiB
+
+// Conn wraps a net.Conn with length-prefixed gob framing and deadline
+// handling. It is not safe for concurrent use.
+type Conn struct {
+	raw net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+	// Timeout bounds each read or write; 0 means no deadline.
+	Timeout time.Duration
+
+	wbuf lengthPrefixWriter
+	rbuf lengthPrefixReader
+}
+
+// NewConn wraps a network connection.
+func NewConn(raw net.Conn, timeout time.Duration) *Conn {
+	c := &Conn{raw: raw, Timeout: timeout}
+	c.wbuf.raw = raw
+	c.rbuf.raw = raw
+	c.enc = gob.NewEncoder(&c.wbuf)
+	c.dec = gob.NewDecoder(&c.rbuf)
+	return c
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// Send writes one envelope.
+func (c *Conn) Send(e *Envelope) error {
+	if c.Timeout > 0 {
+		if err := c.raw.SetWriteDeadline(time.Now().Add(c.Timeout)); err != nil {
+			return err
+		}
+	}
+	if err := c.enc.Encode(e); err != nil {
+		return fmt.Errorf("flnet: send %s: %w", e.Type, err)
+	}
+	return nil
+}
+
+// Recv reads one envelope.
+func (c *Conn) Recv() (*Envelope, error) {
+	if c.Timeout > 0 {
+		if err := c.raw.SetReadDeadline(time.Now().Add(c.Timeout)); err != nil {
+			return nil, err
+		}
+	}
+	var e Envelope
+	if err := c.dec.Decode(&e); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// lengthPrefixWriter frames every gob segment with a uint32 length so the
+// reader can validate frame sizes before decoding.
+type lengthPrefixWriter struct {
+	raw io.Writer
+}
+
+func (w *lengthPrefixWriter) Write(p []byte) (int, error) {
+	if len(p) > maxFrameSize {
+		return 0, fmt.Errorf("flnet: frame of %d bytes exceeds limit", len(p))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(p)))
+	if _, err := w.raw.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.raw.Write(p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// lengthPrefixReader reassembles the frames written by lengthPrefixWriter.
+type lengthPrefixReader struct {
+	raw     io.Reader
+	pending []byte
+}
+
+func (r *lengthPrefixReader) Read(p []byte) (int, error) {
+	if len(r.pending) == 0 {
+		var hdr [4]byte
+		if _, err := io.ReadFull(r.raw, hdr[:]); err != nil {
+			return 0, err
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n == 0 || n > maxFrameSize {
+			return 0, fmt.Errorf("flnet: invalid frame length %d", n)
+		}
+		r.pending = make([]byte, n)
+		if _, err := io.ReadFull(r.raw, r.pending); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(p, r.pending)
+	r.pending = r.pending[n:]
+	return n, nil
+}
+
+// errProtocol reports an unexpected message.
+func errProtocol(want MsgType, got *Envelope) error {
+	return fmt.Errorf("flnet: expected %s, got %s", want, got.Type)
+}
+
+// ErrSessionClosed is returned by client loops when the server finished the
+// training and closed the session cleanly.
+var ErrSessionClosed = errors.New("flnet: session closed")

@@ -1,0 +1,252 @@
+package flnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/persist"
+)
+
+// ServerConfig configures the networked federation server.
+type ServerConfig struct {
+	// MinClients is the population size the server waits for before
+	// training starts (the paper's N).
+	MinClients int
+	// PerRound is K, the number of clients selected per round.
+	PerRound int
+	// Rounds is the number of federated rounds.
+	Rounds int
+	// RoundTimeout bounds the wait for a selected client's update; clients
+	// that miss it are treated as offline for the round (cross-device FL
+	// explicitly tolerates stragglers).
+	RoundTimeout time.Duration
+	// EvalLimit caps test samples per evaluation (0 = all).
+	EvalLimit int
+	// Seed drives client selection and model initialization.
+	Seed int64
+	// CheckpointPath, when non-empty, atomically persists the global model
+	// after every round so a restarted server can resume from disk.
+	CheckpointPath string
+	// DatasetName and ModelName annotate checkpoints for load-side
+	// validation.
+	DatasetName, ModelName string
+}
+
+// Validate reports configuration errors.
+func (c *ServerConfig) Validate() error {
+	switch {
+	case c.MinClients <= 0:
+		return errors.New("flnet: MinClients must be positive")
+	case c.PerRound <= 0 || c.PerRound > c.MinClients:
+		return fmt.Errorf("flnet: PerRound %d out of range (1..%d)", c.PerRound, c.MinClients)
+	case c.Rounds <= 0:
+		return errors.New("flnet: Rounds must be positive")
+	}
+	if c.RoundTimeout <= 0 {
+		c.RoundTimeout = 30 * time.Second
+	}
+	return nil
+}
+
+// RoundReport describes one networked round.
+type RoundReport struct {
+	// Round is the round index.
+	Round int
+	// Responded is the number of selected clients that returned an update
+	// before the deadline.
+	Responded int
+	// Accuracy is the post-aggregation test accuracy.
+	Accuracy float64
+}
+
+// ServerResult summarizes a networked training run.
+type ServerResult struct {
+	// Rounds holds the per-round reports.
+	Rounds []RoundReport
+	// MaxAccuracy and FinalAccuracy mirror the simulator's metrics.
+	MaxAccuracy, FinalAccuracy float64
+	// FinalWeights is the final global weight vector.
+	FinalWeights []float64
+}
+
+// session is one connected client.
+type session struct {
+	id   int
+	conn *Conn
+}
+
+// Server drives federated training over real connections.
+type Server struct {
+	cfg      ServerConfig
+	agg      fl.Aggregator
+	newModel func(rng *rand.Rand) *nn.Network
+	test     *dataset.Dataset
+}
+
+// NewServer builds a server with the given aggregation rule, model
+// architecture and evaluation set.
+func NewServer(cfg ServerConfig, agg fl.Aggregator, newModel func(rng *rand.Rand) *nn.Network, test *dataset.Dataset) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if agg == nil {
+		return nil, errors.New("flnet: aggregator must not be nil")
+	}
+	return &Server{cfg: cfg, agg: agg, newModel: newModel, test: test}, nil
+}
+
+// Serve accepts MinClients clients on lis, runs the configured rounds, and
+// returns the result. The listener is not closed; the caller owns it.
+func (s *Server) Serve(lis net.Listener) (*ServerResult, error) {
+	sessions, err := s.acceptClients(lis)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, cl := range sessions {
+			_ = cl.conn.Close()
+		}
+	}()
+
+	global := s.newModel(rand.New(rand.NewSource(s.cfg.Seed)))
+	weights := global.WeightVector()
+	prev := append([]float64(nil), weights...)
+	selRng := rand.New(rand.NewSource(s.cfg.Seed ^ 0x5DEECE66D))
+	res := &ServerResult{FinalAccuracy: math.NaN()}
+
+	for round := 0; round < s.cfg.Rounds; round++ {
+		perm := selRng.Perm(len(sessions))[:s.cfg.PerRound]
+		updates := s.collectRound(sessions, perm, round, weights, prev)
+		report := RoundReport{Round: round, Responded: len(updates), Accuracy: math.NaN()}
+		if len(updates) > 0 {
+			newWeights, _, err := s.agg.Aggregate(weights, updates)
+			if err != nil {
+				return nil, fmt.Errorf("flnet: round %d: %w", round, err)
+			}
+			if len(newWeights) != len(weights) {
+				return nil, fmt.Errorf("flnet: round %d: aggregate length %d, want %d", round, len(newWeights), len(weights))
+			}
+			prev = weights
+			weights = newWeights
+		}
+		if s.test != nil {
+			if err := global.SetWeightVector(weights); err != nil {
+				return nil, err
+			}
+			acc := fl.Evaluate(global, s.test, s.cfg.EvalLimit, true)
+			report.Accuracy = acc
+			if acc > res.MaxAccuracy {
+				res.MaxAccuracy = acc
+			}
+			res.FinalAccuracy = acc
+		}
+		res.Rounds = append(res.Rounds, report)
+		if s.cfg.CheckpointPath != "" {
+			cp := &persist.Checkpoint{
+				Round:    round,
+				Dataset:  s.cfg.DatasetName,
+				Model:    s.cfg.ModelName,
+				Weights:  weights,
+				Accuracy: report.Accuracy,
+			}
+			if err := persist.Save(s.cfg.CheckpointPath, cp); err != nil {
+				return nil, fmt.Errorf("flnet: round %d checkpoint: %w", round, err)
+			}
+		}
+	}
+
+	// Graceful shutdown: hand every client the final model.
+	final := &Envelope{Type: MsgDone, Weights: weights}
+	for _, cl := range sessions {
+		_ = cl.conn.Send(final) // best effort; client may have vanished
+	}
+	res.FinalWeights = weights
+	return res, nil
+}
+
+// acceptClients performs the join handshake for MinClients connections.
+func (s *Server) acceptClients(lis net.Listener) ([]*session, error) {
+	sessions := make([]*session, 0, s.cfg.MinClients)
+	for len(sessions) < s.cfg.MinClients {
+		raw, err := lis.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("flnet: accept: %w", err)
+		}
+		conn := NewConn(raw, s.cfg.RoundTimeout)
+		hello, err := conn.Recv()
+		if err != nil {
+			_ = conn.Close()
+			continue // a scanner or broken dial; keep waiting
+		}
+		if hello.Type != MsgJoin {
+			_ = conn.Close()
+			continue
+		}
+		id := len(sessions)
+		if err := conn.Send(&Envelope{Type: MsgJoinAck, ClientID: id}); err != nil {
+			_ = conn.Close()
+			continue
+		}
+		sessions = append(sessions, &session{id: id, conn: conn})
+	}
+	return sessions, nil
+}
+
+// collectRound sends TrainRequests to the selected sessions concurrently
+// and gathers the updates that arrive before the deadline.
+func (s *Server) collectRound(sessions []*session, selected []int, round int, weights, prev []float64) []fl.Update {
+	type reply struct {
+		update fl.Update
+		ok     bool
+	}
+	replies := make(chan reply, len(selected))
+	var wg sync.WaitGroup
+	for _, idx := range selected {
+		cl := sessions[idx]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := &Envelope{
+				Type:        MsgTrainRequest,
+				Round:       round,
+				ClientID:    cl.id,
+				Weights:     weights,
+				PrevWeights: prev,
+			}
+			if err := cl.conn.Send(req); err != nil {
+				replies <- reply{}
+				return
+			}
+			resp, err := cl.conn.Recv()
+			if err != nil || resp.Type != MsgUpdate || resp.Round != round || len(resp.Weights) != len(weights) {
+				replies <- reply{}
+				return
+			}
+			replies <- reply{
+				update: fl.Update{
+					ClientID:   cl.id,
+					Weights:    resp.Weights,
+					NumSamples: resp.NumSamples,
+				},
+				ok: true,
+			}
+		}()
+	}
+	wg.Wait()
+	close(replies)
+	var updates []fl.Update
+	for r := range replies {
+		if r.ok {
+			updates = append(updates, r.update)
+		}
+	}
+	return updates
+}

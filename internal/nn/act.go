@@ -1,0 +1,188 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ReLU is the rectified-linear activation max(0, x).
+type ReLU struct {
+	mask []bool
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	if train {
+		if cap(r.mask) < len(out.Data) {
+			r.mask = make([]bool, len(out.Data))
+		}
+		r.mask = r.mask[:len(out.Data)]
+	}
+	for i, v := range out.Data {
+		pos := v > 0
+		if !pos {
+			out.Data[i] = 0
+		}
+		if train {
+			r.mask[i] = pos
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (r *ReLU) Grads() []*tensor.Tensor { return nil }
+
+// Clone implements Layer.
+func (r *ReLU) Clone() Layer { return NewReLU() }
+
+// LeakyReLU is the leaky rectified-linear activation used by the generator
+// network: x for x > 0, alpha*x otherwise.
+type LeakyReLU struct {
+	Alpha float64
+
+	mask []bool
+}
+
+var _ Layer = (*LeakyReLU)(nil)
+
+// NewLeakyReLU returns a LeakyReLU with the given negative slope.
+func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
+
+// Forward implements Layer.
+func (r *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	if train {
+		if cap(r.mask) < len(out.Data) {
+			r.mask = make([]bool, len(out.Data))
+		}
+		r.mask = r.mask[:len(out.Data)]
+	}
+	for i, v := range out.Data {
+		pos := v > 0
+		if !pos {
+			out.Data[i] = r.Alpha * v
+		}
+		if train {
+			r.mask[i] = pos
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *LeakyReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] *= r.Alpha
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *LeakyReLU) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (r *LeakyReLU) Grads() []*tensor.Tensor { return nil }
+
+// Clone implements Layer.
+func (r *LeakyReLU) Clone() Layer { return NewLeakyReLU(r.Alpha) }
+
+// Tanh is the hyperbolic-tangent activation, used as the generator's output
+// nonlinearity so synthesized pixels stay in [−1, 1] like normalized images.
+type Tanh struct {
+	lastOutput *tensor.Tensor
+}
+
+var _ Layer = (*Tanh)(nil)
+
+// NewTanh returns a Tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward implements Layer.
+func (a *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	if train {
+		a.lastOutput = out
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (a *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	for i := range out.Data {
+		y := a.lastOutput.Data[i]
+		out.Data[i] *= 1 - y*y
+	}
+	return out
+}
+
+// Params implements Layer.
+func (a *Tanh) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (a *Tanh) Grads() []*tensor.Tensor { return nil }
+
+// Clone implements Layer.
+func (a *Tanh) Clone() Layer { return NewTanh() }
+
+// Flatten reshapes [batch, ...] inputs into [batch, features] and restores
+// the original shape on the backward pass.
+type Flatten struct {
+	lastShape []int
+}
+
+var _ Layer = (*Flatten)(nil)
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		f.lastShape = append([]int(nil), x.Shape...)
+	}
+	batch := x.Shape[0]
+	return x.Reshape(batch, x.Len()/batch)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.lastShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (f *Flatten) Grads() []*tensor.Tensor { return nil }
+
+// Clone implements Layer.
+func (f *Flatten) Clone() Layer { return NewFlatten() }

@@ -1,0 +1,365 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over batched inputs of shape
+// [batch, inC, H, W], producing [batch, outC, outH, outW] with
+// outH = (H + 2*pad − kernel)/stride + 1.
+//
+// DFA-R's "filter layer" (Fig. 2 of the paper) is an instance of this layer:
+// a single convolution mapping a static random image A to the synthetic
+// image B, trained through the frozen global model.
+type Conv2D struct {
+	InC, OutC   int
+	Kernel      int
+	Stride, Pad int
+
+	weight *tensor.Tensor // [outC, inC, k, k]
+	bias   *tensor.Tensor // [outC]
+	gradW  *tensor.Tensor
+	gradB  *tensor.Tensor
+
+	lastInput *tensor.Tensor
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D creates a convolution layer with He-uniform initialized weights.
+func NewConv2D(rng *rand.Rand, inC, outC, kernel, stride, pad int) *Conv2D {
+	if kernel <= 0 || stride <= 0 || pad < 0 {
+		panic(fmt.Sprintf("nn: invalid conv config kernel=%d stride=%d pad=%d", kernel, stride, pad))
+	}
+	c := &Conv2D{
+		InC:    inC,
+		OutC:   outC,
+		Kernel: kernel,
+		Stride: stride,
+		Pad:    pad,
+		weight: tensor.New(outC, inC, kernel, kernel),
+		bias:   tensor.New(outC),
+		gradW:  tensor.New(outC, inC, kernel, kernel),
+		gradB:  tensor.New(outC),
+	}
+	fanIn := float64(inC * kernel * kernel)
+	limit := math.Sqrt(6.0 / fanIn)
+	c.weight.FillUniform(rng, -limit, limit)
+	return c
+}
+
+// OutSize returns the spatial output size for a given input size.
+func (c *Conv2D) OutSize(in int) int {
+	return (in+2*c.Pad-c.Kernel)/c.Stride + 1
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		c.lastInput = x
+	}
+	batch, inC, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if inC != c.InC {
+		panic(fmt.Sprintf("nn: conv input channels %d, want %d", inC, c.InC))
+	}
+	outH, outW := c.OutSize(h), c.OutSize(w)
+	out := tensor.New(batch, c.OutC, outH, outW)
+	k, s, p := c.Kernel, c.Stride, c.Pad
+
+	for b := 0; b < batch; b++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			bv := c.bias.Data[oc]
+			for oh := 0; oh < outH; oh++ {
+				ihBase := oh*s - p
+				for ow := 0; ow < outW; ow++ {
+					iwBase := ow*s - p
+					sum := bv
+					for ic := 0; ic < inC; ic++ {
+						xBase := ((b*inC + ic) * h) * w
+						wBase := ((oc*inC + ic) * k) * k
+						for kh := 0; kh < k; kh++ {
+							ih := ihBase + kh
+							if ih < 0 || ih >= h {
+								continue
+							}
+							xRow := xBase + ih*w
+							wRow := wBase + kh*k
+							for kw := 0; kw < k; kw++ {
+								iw := iwBase + kw
+								if iw < 0 || iw >= w {
+									continue
+								}
+								sum += x.Data[xRow+iw] * c.weight.Data[wRow+kw]
+							}
+						}
+					}
+					out.Data[((b*c.OutC+oc)*outH+oh)*outW+ow] = sum
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.lastInput
+	batch, inC, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	outH, outW := grad.Shape[2], grad.Shape[3]
+	dx := tensor.New(batch, inC, h, w)
+	k, s, p := c.Kernel, c.Stride, c.Pad
+
+	for b := 0; b < batch; b++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			for oh := 0; oh < outH; oh++ {
+				ihBase := oh*s - p
+				for ow := 0; ow < outW; ow++ {
+					iwBase := ow*s - p
+					g := grad.Data[((b*c.OutC+oc)*outH+oh)*outW+ow]
+					if g == 0 {
+						continue
+					}
+					c.gradB.Data[oc] += g
+					for ic := 0; ic < inC; ic++ {
+						xBase := ((b*inC + ic) * h) * w
+						wBase := ((oc*inC + ic) * k) * k
+						for kh := 0; kh < k; kh++ {
+							ih := ihBase + kh
+							if ih < 0 || ih >= h {
+								continue
+							}
+							xRow := xBase + ih*w
+							wRow := wBase + kh*k
+							for kw := 0; kw < k; kw++ {
+								iw := iwBase + kw
+								if iw < 0 || iw >= w {
+									continue
+								}
+								c.gradW.Data[wRow+kw] += g * x.Data[xRow+iw]
+								dx.Data[xRow+iw] += g * c.weight.Data[wRow+kw]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.weight, c.bias} }
+
+// Grads implements Layer.
+func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.gradW, c.gradB} }
+
+// Clone implements Layer.
+func (c *Conv2D) Clone() Layer {
+	return &Conv2D{
+		InC:    c.InC,
+		OutC:   c.OutC,
+		Kernel: c.Kernel,
+		Stride: c.Stride,
+		Pad:    c.Pad,
+		weight: c.weight.Clone(),
+		bias:   c.bias.Clone(),
+		gradW:  tensor.New(c.OutC, c.InC, c.Kernel, c.Kernel),
+		gradB:  tensor.New(c.OutC),
+	}
+}
+
+// ConvTranspose2D is a 2-D transposed convolution (fractionally strided
+// convolution) over batched inputs [batch, inC, H, W], producing
+// [batch, outC, outH, outW] with outH = (H−1)*stride − 2*pad + kernel.
+//
+// The DFA-G generator follows the WGAN recipe cited by the paper: two
+// transposed convolutions upsample a latent noise block into an image.
+type ConvTranspose2D struct {
+	InC, OutC   int
+	Kernel      int
+	Stride, Pad int
+
+	weight *tensor.Tensor // [inC, outC, k, k]
+	bias   *tensor.Tensor // [outC]
+	gradW  *tensor.Tensor
+	gradB  *tensor.Tensor
+
+	lastInput *tensor.Tensor
+}
+
+var _ Layer = (*ConvTranspose2D)(nil)
+
+// NewConvTranspose2D creates a transposed-convolution layer with He-uniform
+// initialized weights.
+func NewConvTranspose2D(rng *rand.Rand, inC, outC, kernel, stride, pad int) *ConvTranspose2D {
+	if kernel <= 0 || stride <= 0 || pad < 0 {
+		panic(fmt.Sprintf("nn: invalid convT config kernel=%d stride=%d pad=%d", kernel, stride, pad))
+	}
+	c := &ConvTranspose2D{
+		InC:    inC,
+		OutC:   outC,
+		Kernel: kernel,
+		Stride: stride,
+		Pad:    pad,
+		weight: tensor.New(inC, outC, kernel, kernel),
+		bias:   tensor.New(outC),
+		gradW:  tensor.New(inC, outC, kernel, kernel),
+		gradB:  tensor.New(outC),
+	}
+	fanIn := float64(inC * kernel * kernel)
+	limit := math.Sqrt(6.0 / fanIn)
+	c.weight.FillUniform(rng, -limit, limit)
+	return c
+}
+
+// OutSize returns the spatial output size for a given input size.
+func (c *ConvTranspose2D) OutSize(in int) int {
+	return (in-1)*c.Stride - 2*c.Pad + c.Kernel
+}
+
+// Forward implements Layer.
+func (c *ConvTranspose2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		c.lastInput = x
+	}
+	batch, inC, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if inC != c.InC {
+		panic(fmt.Sprintf("nn: convT input channels %d, want %d", inC, c.InC))
+	}
+	outH, outW := c.OutSize(h), c.OutSize(w)
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("nn: convT output size %dx%d not positive", outH, outW))
+	}
+	out := tensor.New(batch, c.OutC, outH, outW)
+	k, s, p := c.Kernel, c.Stride, c.Pad
+
+	// Bias.
+	for b := 0; b < batch; b++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			base := ((b*c.OutC + oc) * outH) * outW
+			bv := c.bias.Data[oc]
+			for i := 0; i < outH*outW; i++ {
+				out.Data[base+i] = bv
+			}
+		}
+	}
+	// Scatter contributions.
+	for b := 0; b < batch; b++ {
+		for ic := 0; ic < inC; ic++ {
+			xBase := ((b*inC + ic) * h) * w
+			for ih := 0; ih < h; ih++ {
+				ohBase := ih*s - p
+				for iw := 0; iw < w; iw++ {
+					xv := x.Data[xBase+ih*w+iw]
+					if xv == 0 {
+						continue
+					}
+					owBase := iw*s - p
+					for oc := 0; oc < c.OutC; oc++ {
+						oBase := ((b*c.OutC + oc) * outH) * outW
+						wBase := ((ic*c.OutC + oc) * k) * k
+						for kh := 0; kh < k; kh++ {
+							oh := ohBase + kh
+							if oh < 0 || oh >= outH {
+								continue
+							}
+							oRow := oBase + oh*outW
+							wRow := wBase + kh*k
+							for kw := 0; kw < k; kw++ {
+								ow := owBase + kw
+								if ow < 0 || ow >= outW {
+									continue
+								}
+								out.Data[oRow+ow] += xv * c.weight.Data[wRow+kw]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *ConvTranspose2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.lastInput
+	batch, inC, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	outH, outW := grad.Shape[2], grad.Shape[3]
+	dx := tensor.New(batch, inC, h, w)
+	k, s, p := c.Kernel, c.Stride, c.Pad
+
+	// Bias gradient.
+	for b := 0; b < batch; b++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			base := ((b*c.OutC + oc) * outH) * outW
+			sum := 0.0
+			for i := 0; i < outH*outW; i++ {
+				sum += grad.Data[base+i]
+			}
+			c.gradB.Data[oc] += sum
+		}
+	}
+	// Weight and input gradients: mirror the forward scatter.
+	for b := 0; b < batch; b++ {
+		for ic := 0; ic < inC; ic++ {
+			xBase := ((b*inC + ic) * h) * w
+			for ih := 0; ih < h; ih++ {
+				ohBase := ih*s - p
+				for iw := 0; iw < w; iw++ {
+					owBase := iw*s - p
+					xv := x.Data[xBase+ih*w+iw]
+					var dxv float64
+					for oc := 0; oc < c.OutC; oc++ {
+						oBase := ((b*c.OutC + oc) * outH) * outW
+						wBase := ((ic*c.OutC + oc) * k) * k
+						for kh := 0; kh < k; kh++ {
+							oh := ohBase + kh
+							if oh < 0 || oh >= outH {
+								continue
+							}
+							oRow := oBase + oh*outW
+							wRow := wBase + kh*k
+							for kw := 0; kw < k; kw++ {
+								ow := owBase + kw
+								if ow < 0 || ow >= outW {
+									continue
+								}
+								g := grad.Data[oRow+ow]
+								c.gradW.Data[wRow+kw] += g * xv
+								dxv += g * c.weight.Data[wRow+kw]
+							}
+						}
+					}
+					dx.Data[xBase+ih*w+iw] = dxv
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *ConvTranspose2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.weight, c.bias} }
+
+// Grads implements Layer.
+func (c *ConvTranspose2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.gradW, c.gradB} }
+
+// Clone implements Layer.
+func (c *ConvTranspose2D) Clone() Layer {
+	return &ConvTranspose2D{
+		InC:    c.InC,
+		OutC:   c.OutC,
+		Kernel: c.Kernel,
+		Stride: c.Stride,
+		Pad:    c.Pad,
+		weight: c.weight.Clone(),
+		bias:   c.bias.Clone(),
+		gradW:  tensor.New(c.InC, c.OutC, c.Kernel, c.Kernel),
+		gradB:  tensor.New(c.OutC),
+	}
+}

@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer computing y = x·W + b over batched
+// rank-2 inputs of shape [batch, in].
+type Dense struct {
+	In, Out int
+
+	weight *tensor.Tensor // [in, out]
+	bias   *tensor.Tensor // [out]
+	gradW  *tensor.Tensor
+	gradB  *tensor.Tensor
+
+	lastInput *tensor.Tensor
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense creates a dense layer with He-uniform initialized weights.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	d := &Dense{
+		In:     in,
+		Out:    out,
+		weight: tensor.New(in, out),
+		bias:   tensor.New(out),
+		gradW:  tensor.New(in, out),
+		gradB:  tensor.New(out),
+	}
+	limit := math.Sqrt(6.0 / float64(in))
+	d.weight.FillUniform(rng, -limit, limit)
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		d.lastInput = x
+	}
+	out := tensor.MatMul(x, d.weight)
+	batch := x.Shape[0]
+	for b := 0; b < batch; b++ {
+		row := out.Data[b*d.Out : (b+1)*d.Out]
+		for j := 0; j < d.Out; j++ {
+			row[j] += d.bias.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := d.lastInput
+	dW := tensor.MatMulTransA(x, grad) // [in, out]
+	d.gradW.AddInPlace(dW)
+	batch := grad.Shape[0]
+	for b := 0; b < batch; b++ {
+		row := grad.Data[b*d.Out : (b+1)*d.Out]
+		for j := 0; j < d.Out; j++ {
+			d.gradB.Data[j] += row[j]
+		}
+	}
+	return tensor.MatMulTransB(grad, d.weight) // [batch, in]
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.weight, d.bias} }
+
+// Grads implements Layer.
+func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.gradW, d.gradB} }
+
+// Clone implements Layer.
+func (d *Dense) Clone() Layer {
+	return &Dense{
+		In:     d.In,
+		Out:    d.Out,
+		weight: d.weight.Clone(),
+		bias:   d.bias.Clone(),
+		gradW:  tensor.New(d.In, d.Out),
+		gradB:  tensor.New(d.Out),
+	}
+}

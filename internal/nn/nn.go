@@ -1,0 +1,169 @@
+// Package nn implements the neural-network training stack the paper's
+// experiments run on: layer-wise backpropagation over the tensor substrate,
+// convolutional and transposed-convolutional layers (the latter for the
+// DFA-G generator), dense layers, activations, softmax cross-entropy with
+// hard and soft targets (the latter for DFA-R's uniform-confidence
+// objective), and plain SGD.
+//
+// The federated-learning layers of the reproduction treat a model as its
+// flat weight vector (see Eq. 1–2 of the paper); WeightVector and
+// SetWeightVector convert between the two representations.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Layer is one differentiable stage of a network. Forward stores whatever
+// activations Backward needs, so a Layer instance must not be shared between
+// concurrently training networks; Clone provides an independent copy.
+type Layer interface {
+	// Forward computes the layer output for a batch. When train is false,
+	// layers may skip caching activations needed only by Backward.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes the gradient w.r.t. the layer output, accumulates
+	// parameter gradients, and returns the gradient w.r.t. the layer input.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the trainable parameter tensors (possibly empty).
+	Params() []*tensor.Tensor
+	// Grads returns gradient tensors aligned 1:1 with Params.
+	Grads() []*tensor.Tensor
+	// Clone returns an independent copy with identical configuration and
+	// parameter values but no shared state.
+	Clone() Layer
+}
+
+// Network is an ordered sequence of layers trained end-to-end.
+type Network struct {
+	layers []Layer
+}
+
+// NewNetwork builds a network from the given layers.
+func NewNetwork(layers ...Layer) *Network {
+	return &Network{layers: layers}
+}
+
+// Add appends a layer to the network.
+func (n *Network) Add(l Layer) { n.layers = append(n.layers, l) }
+
+// Layers returns the network's layers in order. The returned slice is the
+// internal one; callers must not mutate it.
+func (n *Network) Layers() []Layer { return n.layers }
+
+// Forward runs the batch through every layer and returns the final output
+// (for classifiers: the logits, shape [batch, classes]).
+func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x
+	for _, l := range n.layers {
+		out = l.Forward(out, train)
+	}
+	return out
+}
+
+// Backward propagates the output gradient through every layer in reverse and
+// returns the gradient with respect to the network input. Parameter
+// gradients accumulate into each layer's Grads tensors.
+func (n *Network) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := grad
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		g = n.layers[i].Backward(g)
+	}
+	return g
+}
+
+// Params returns all trainable parameter tensors in layer order.
+func (n *Network) Params() []*tensor.Tensor {
+	var ps []*tensor.Tensor
+	for _, l := range n.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Grads returns all gradient tensors aligned with Params.
+func (n *Network) Grads() []*tensor.Tensor {
+	var gs []*tensor.Tensor
+	for _, l := range n.layers {
+		gs = append(gs, l.Grads()...)
+	}
+	return gs
+}
+
+// ZeroGrads clears all accumulated parameter gradients.
+func (n *Network) ZeroGrads() {
+	for _, g := range n.Grads() {
+		g.Zero()
+	}
+}
+
+// NumParams returns the total number of trainable scalars.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.Len()
+	}
+	return total
+}
+
+// WeightVector flattens all parameters into a single []float64 — the update
+// representation exchanged with the federated server.
+func (n *Network) WeightVector() []float64 {
+	out := make([]float64, 0, n.NumParams())
+	for _, p := range n.Params() {
+		out = append(out, p.Data...)
+	}
+	return out
+}
+
+// SetWeightVector loads a flat weight vector produced by WeightVector back
+// into the network parameters.
+func (n *Network) SetWeightVector(v []float64) error {
+	if len(v) != n.NumParams() {
+		return fmt.Errorf("nn: weight vector length %d does not match %d parameters", len(v), n.NumParams())
+	}
+	off := 0
+	for _, p := range n.Params() {
+		copy(p.Data, v[off:off+p.Len()])
+		off += p.Len()
+	}
+	return nil
+}
+
+// GradVector flattens all parameter gradients into a single []float64,
+// aligned with WeightVector.
+func (n *Network) GradVector() []float64 {
+	out := make([]float64, 0, n.NumParams())
+	for _, g := range n.Grads() {
+		out = append(out, g.Data...)
+	}
+	return out
+}
+
+// AddToGrads adds delta (a flat vector aligned with WeightVector) to the
+// accumulated gradients. The DFA distance-based regularization term enters
+// adversarial training through this hook.
+func (n *Network) AddToGrads(delta []float64) error {
+	if len(delta) != n.NumParams() {
+		return fmt.Errorf("nn: gradient delta length %d does not match %d parameters", len(delta), n.NumParams())
+	}
+	off := 0
+	for _, g := range n.Grads() {
+		for i := range g.Data {
+			g.Data[i] += delta[off+i]
+		}
+		off += g.Len()
+	}
+	return nil
+}
+
+// Clone returns an independent deep copy of the network: same architecture
+// and weights, no shared tensors or cached activations.
+func (n *Network) Clone() *Network {
+	c := &Network{layers: make([]Layer, len(n.layers))}
+	for i, l := range n.layers {
+		c.layers[i] = l.Clone()
+	}
+	return c
+}

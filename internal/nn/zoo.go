@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The model zoo mirrors the paper's Section IV-A: a representative shallow
+// CNN with 2 convolutional layers and 1 dense layer for Fashion-MNIST, and a
+// deeper CNN with 6 convolutional layers and 2 dense layers for CIFAR-10 and
+// SVHN, plus the lightweight WGAN-style transposed-convolution generator
+// used by DFA-G.
+
+// NewFashionCNN builds the 2-conv/1-dense classifier used for the
+// Fashion-MNIST-like task. The input is [batch, inC, size, size]; size must
+// be divisible by 4.
+func NewFashionCNN(rng *rand.Rand, inC, size, classes int) *Network {
+	if size%4 != 0 {
+		panic(fmt.Sprintf("nn: NewFashionCNN size %d must be divisible by 4", size))
+	}
+	s4 := size / 4
+	return NewNetwork(
+		NewConv2D(rng, inC, 8, 3, 2, 1), // size -> size/2
+		NewReLU(),
+		NewConv2D(rng, 8, 16, 3, 2, 1), // size/2 -> size/4
+		NewReLU(),
+		NewFlatten(),
+		NewDense(rng, 16*s4*s4, classes),
+	)
+}
+
+// NewDeepCNN builds the 6-conv/2-dense classifier used for the CIFAR-10-like
+// and SVHN-like tasks. The input is [batch, inC, size, size]; size must be
+// divisible by 8.
+func NewDeepCNN(rng *rand.Rand, inC, size, classes int) *Network {
+	if size%8 != 0 {
+		panic(fmt.Sprintf("nn: NewDeepCNN size %d must be divisible by 8", size))
+	}
+	s8 := size / 8
+	return NewNetwork(
+		NewConv2D(rng, inC, 8, 3, 1, 1),
+		NewReLU(),
+		NewConv2D(rng, 8, 8, 3, 2, 1), // size -> size/2
+		NewReLU(),
+		NewConv2D(rng, 8, 16, 3, 1, 1),
+		NewReLU(),
+		NewConv2D(rng, 16, 16, 3, 2, 1), // size/2 -> size/4
+		NewReLU(),
+		NewConv2D(rng, 16, 32, 3, 1, 1),
+		NewReLU(),
+		NewConv2D(rng, 32, 32, 3, 2, 1), // size/4 -> size/8
+		NewReLU(),
+		NewFlatten(),
+		NewDense(rng, 32*s8*s8, 64),
+		NewReLU(),
+		NewDense(rng, 64, classes),
+	)
+}
+
+// GeneratorLatentSize returns the [channels, h, w] latent block shape the
+// DFA-G generator expects for a given output image size (size must be
+// divisible by 4).
+func GeneratorLatentSize(size int) (c, h, w int) {
+	if size%4 != 0 {
+		panic(fmt.Sprintf("nn: generator output size %d must be divisible by 4", size))
+	}
+	return 8, size / 4, size / 4
+}
+
+// NewGenerator builds the lightweight transposed-convolution generator of
+// DFA-G, following the WGAN structure cited by the paper: two transposed
+// convolutional layers and one convolutional layer, with a tanh output so
+// pixels land in [−1, 1]. The latent input is [batch, 8, size/4, size/4]
+// (see GeneratorLatentSize) and the output is [batch, outC, size, size].
+func NewGenerator(rng *rand.Rand, outC, size int) *Network {
+	latentC, _, _ := GeneratorLatentSize(size)
+	return NewNetwork(
+		NewConvTranspose2D(rng, latentC, 16, 4, 2, 1), // size/4 -> size/2
+		NewLeakyReLU(0.2),
+		NewConvTranspose2D(rng, 16, 8, 4, 2, 1), // size/2 -> size
+		NewLeakyReLU(0.2),
+		NewConv2D(rng, 8, outC, 3, 1, 1),
+		NewTanh(),
+	)
+}

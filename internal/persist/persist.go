@@ -1,0 +1,129 @@
+// Package persist stores and restores global-model checkpoints. The
+// networked server can checkpoint the federation after every round, and a
+// restarted server (or an offline evaluation tool) can resume from the
+// saved weights — the minimum durability a deployable FL server needs.
+package persist
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// magic identifies checkpoint streams; version gates format evolution.
+const (
+	magic   = "FLCKPT"
+	version = 1
+)
+
+// Checkpoint is a durable snapshot of the federation state.
+type Checkpoint struct {
+	// Round is the last completed round.
+	Round int
+	// Dataset and Model document which task/architecture the weights
+	// belong to; Load-side validation prevents cross-architecture loads.
+	Dataset string
+	Model   string
+	// Weights is the flat global weight vector.
+	Weights []float64
+	// Accuracy is the evaluation accuracy at checkpoint time (NaN-free;
+	// use a negative value when unknown).
+	Accuracy float64
+}
+
+// header precedes the gob payload.
+type header struct {
+	Magic   string
+	Version int
+}
+
+// Write serializes the checkpoint to w.
+func Write(w io.Writer, cp *Checkpoint) error {
+	if cp == nil {
+		return errors.New("persist: nil checkpoint")
+	}
+	if len(cp.Weights) == 0 {
+		return errors.New("persist: checkpoint has no weights")
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(header{Magic: magic, Version: version}); err != nil {
+		return fmt.Errorf("persist: header: %w", err)
+	}
+	if err := enc.Encode(cp); err != nil {
+		return fmt.Errorf("persist: payload: %w", err)
+	}
+	return nil
+}
+
+// Read deserializes a checkpoint from r, validating magic and version.
+func Read(r io.Reader) (*Checkpoint, error) {
+	dec := gob.NewDecoder(r)
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("persist: header: %w", err)
+	}
+	if h.Magic != magic {
+		return nil, fmt.Errorf("persist: bad magic %q", h.Magic)
+	}
+	if h.Version != version {
+		return nil, fmt.Errorf("persist: unsupported version %d", h.Version)
+	}
+	var cp Checkpoint
+	if err := dec.Decode(&cp); err != nil {
+		return nil, fmt.Errorf("persist: payload: %w", err)
+	}
+	if len(cp.Weights) == 0 {
+		return nil, errors.New("persist: checkpoint has no weights")
+	}
+	return &cp, nil
+}
+
+// Save writes the checkpoint atomically: to a temporary file in the target
+// directory, then renamed over the destination, so a crash mid-write never
+// corrupts the previous checkpoint.
+func Save(path string, cp *Checkpoint) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".flckpt-*")
+	if err != nil {
+		return fmt.Errorf("persist: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		_ = os.Remove(tmpName) // no-op after successful rename
+	}()
+	if err := Write(tmp, cp); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		return fmt.Errorf("persist: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("persist: rename: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a checkpoint from disk.
+func LoadFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: open: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

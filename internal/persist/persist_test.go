@@ -1,0 +1,128 @@
+package persist
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sample() *Checkpoint {
+	return &Checkpoint{
+		Round:    7,
+		Dataset:  "fashion-sim",
+		Model:    "fashion-cnn",
+		Weights:  []float64{0.5, -1.25, 3e-9, 42},
+		Accuracy: 0.731,
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if got.Round != want.Round || got.Dataset != want.Dataset || got.Model != want.Model || got.Accuracy != want.Accuracy {
+		t.Fatalf("metadata lost: %+v", got)
+	}
+	if len(got.Weights) != len(want.Weights) {
+		t.Fatalf("weights length %d", len(got.Weights))
+	}
+	for i := range want.Weights {
+		if got.Weights[i] != want.Weights[i] {
+			t.Fatalf("weight %d = %v, want %v", i, got.Weights[i], want.Weights[i])
+		}
+	}
+}
+
+func TestWriteRejectsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err == nil {
+		t.Fatal("expected error for nil checkpoint")
+	}
+	if err := Write(&buf, &Checkpoint{Round: 1}); err == nil {
+		t.Fatal("expected error for empty weights")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("expected error for garbage stream")
+	}
+}
+
+func TestReadRejectsWrongMagic(t *testing.T) {
+	var buf bytes.Buffer
+	// Hand-craft a stream with a wrong magic via the same encoder types.
+	bad := sample()
+	if err := Write(&buf, bad); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a byte inside the magic region.
+	data := buf.Bytes()
+	for i := range data {
+		if data[i] == 'F' && i+5 < len(data) && data[i+1] == 'L' {
+			data[i] = 'X'
+			break
+		}
+	}
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("expected error for corrupted magic")
+	}
+}
+
+func TestSaveLoadFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "global.ckpt")
+	if err := Save(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 7 {
+		t.Fatalf("round = %d", got.Round)
+	}
+	// Overwrite with a newer checkpoint: rename must replace atomically.
+	newer := sample()
+	newer.Round = 8
+	if err := Save(path, newer); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 8 {
+		t.Fatalf("after overwrite round = %d, want 8", got.Round)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(entries))
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent.ckpt")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestDirOf(t *testing.T) {
+	if dirOf("/a/b/c.ckpt") != "/a/b" {
+		t.Fatalf("dirOf = %q", dirOf("/a/b/c.ckpt"))
+	}
+	if dirOf("c.ckpt") != "." {
+		t.Fatalf("dirOf = %q", dirOf("c.ckpt"))
+	}
+}

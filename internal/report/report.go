@@ -1,0 +1,121 @@
+// Package report serializes experiment outcomes for downstream analysis:
+// JSON for tooling, CSV for spreadsheets/plotting, and a stable text table
+// for terminals. A reproduction is only useful if its numbers can leave the
+// process, so the CLIs route their results through this package.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/experiment"
+)
+
+// Record is the flattened, serialization-friendly form of one outcome.
+type Record struct {
+	Dataset      string  `json:"dataset"`
+	Attack       string  `json:"attack"`
+	Defense      string  `json:"defense"`
+	Beta         float64 `json:"beta"`
+	AttackerFrac float64 `json:"attackerFrac"`
+	Seed         int64   `json:"seed"`
+	Rounds       int     `json:"rounds"`
+	CleanAccPct  float64 `json:"cleanAccPct"`
+	MaxAccPct    float64 `json:"maxAccPct"`
+	FinalAccPct  float64 `json:"finalAccPct"`
+	ASRPct       float64 `json:"asrPct"`
+	// DPRPct is nil when the defense does not report selection ("N/A").
+	DPRPct *float64 `json:"dprPct"`
+}
+
+// FromOutcome flattens an outcome into a Record.
+func FromOutcome(o *experiment.Outcome) Record {
+	r := Record{
+		Dataset:      o.Config.Dataset,
+		Attack:       o.Config.Attack,
+		Defense:      o.Config.Defense,
+		Beta:         o.Config.Beta,
+		AttackerFrac: o.Config.AttackerFrac,
+		Seed:         o.Config.Seed,
+		Rounds:       o.Config.Rounds,
+		CleanAccPct:  round2(o.CleanAcc * 100),
+		MaxAccPct:    round2(o.MaxAcc * 100),
+		FinalAccPct:  round2(o.FinalAcc * 100),
+		ASRPct:       round2(o.ASR),
+	}
+	if !math.IsNaN(o.DPR) {
+		dpr := round2(o.DPR)
+		r.DPRPct = &dpr
+	}
+	return r
+}
+
+func round2(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return v
+	}
+	return math.Round(v*100) / 100
+}
+
+// WriteJSON writes the outcomes as a JSON array.
+func WriteJSON(w io.Writer, outs []*experiment.Outcome) error {
+	records := make([]Record, len(outs))
+	for i, o := range outs {
+		records[i] = FromOutcome(o)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}
+
+// csvHeader is the stable column order of WriteCSV.
+var csvHeader = []string{
+	"dataset", "attack", "defense", "beta", "attacker_frac", "seed",
+	"rounds", "clean_acc_pct", "max_acc_pct", "final_acc_pct", "asr_pct", "dpr_pct",
+}
+
+// WriteCSV writes the outcomes as CSV with a header row; an undefined DPR
+// is encoded as an empty cell.
+func WriteCSV(w io.Writer, outs []*experiment.Outcome) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, o := range outs {
+		r := FromOutcome(o)
+		dpr := ""
+		if r.DPRPct != nil {
+			dpr = strconv.FormatFloat(*r.DPRPct, 'f', 2, 64)
+		}
+		row := []string{
+			r.Dataset, r.Attack, r.Defense,
+			strconv.FormatFloat(r.Beta, 'g', -1, 64),
+			strconv.FormatFloat(r.AttackerFrac, 'g', -1, 64),
+			strconv.FormatInt(r.Seed, 10),
+			strconv.Itoa(r.Rounds),
+			strconv.FormatFloat(r.CleanAccPct, 'f', 2, 64),
+			strconv.FormatFloat(r.MaxAccPct, 'f', 2, 64),
+			strconv.FormatFloat(r.FinalAccPct, 'f', 2, 64),
+			strconv.FormatFloat(r.ASRPct, 'f', 2, 64),
+			dpr,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadJSON parses records previously written by WriteJSON.
+func ReadJSON(r io.Reader) ([]Record, error) {
+	var records []Record
+	if err := json.NewDecoder(r).Decode(&records); err != nil {
+		return nil, fmt.Errorf("report: decode: %w", err)
+	}
+	return records, nil
+}

@@ -1,0 +1,100 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+func sampleOutcomes() []*experiment.Outcome {
+	return []*experiment.Outcome{
+		{
+			Config: experiment.Config{
+				Dataset: "fashion-sim", Attack: "dfa-r", Defense: "mkrum",
+				Beta: 0.5, AttackerFrac: 0.2, Seed: 1, Rounds: 12,
+			},
+			CleanAcc: 0.855, MaxAcc: 0.70, FinalAcc: 0.65, ASR: 18.128, DPR: 75.0,
+		},
+		{
+			Config: experiment.Config{
+				Dataset: "cifar-sim", Attack: "lie", Defense: "median",
+				Beta: 0.1, AttackerFrac: 0.2, Seed: 2, Rounds: 12,
+			},
+			CleanAcc: 0.66, MaxAcc: 0.52, FinalAcc: 0.50, ASR: 21.2121, DPR: math.NaN(),
+		},
+	}
+}
+
+func TestFromOutcome(t *testing.T) {
+	outs := sampleOutcomes()
+	r := FromOutcome(outs[0])
+	if r.Dataset != "fashion-sim" || r.Attack != "dfa-r" || r.Defense != "mkrum" {
+		t.Fatalf("identity fields wrong: %+v", r)
+	}
+	if r.CleanAccPct != 85.5 || r.MaxAccPct != 70 {
+		t.Fatalf("accuracy conversion wrong: %+v", r)
+	}
+	if r.ASRPct != 18.13 {
+		t.Fatalf("ASR rounding wrong: %v", r.ASRPct)
+	}
+	if r.DPRPct == nil || *r.DPRPct != 75 {
+		t.Fatalf("DPR wrong: %v", r.DPRPct)
+	}
+	r2 := FromOutcome(outs[1])
+	if r2.DPRPct != nil {
+		t.Fatal("NaN DPR should map to nil")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleOutcomes()); err != nil {
+		t.Fatal(err)
+	}
+	records, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("round trip lost records: %d", len(records))
+	}
+	if records[0].ASRPct != 18.13 || records[1].DPRPct != nil {
+		t.Fatalf("round trip changed values: %+v", records)
+	}
+}
+
+func TestReadJSONError(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleOutcomes()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want header + 2", len(rows))
+	}
+	if rows[0][0] != "dataset" || rows[0][len(rows[0])-1] != "dpr_pct" {
+		t.Fatalf("header wrong: %v", rows[0])
+	}
+	if rows[1][10] != "18.13" {
+		t.Fatalf("ASR cell = %q", rows[1][10])
+	}
+	if rows[1][11] != "75.00" {
+		t.Fatalf("DPR cell = %q", rows[1][11])
+	}
+	if rows[2][11] != "" {
+		t.Fatalf("undefined DPR should be empty, got %q", rows[2][11])
+	}
+}

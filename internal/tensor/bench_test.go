@@ -1,0 +1,48 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMat(b *testing.B, m, k, n int) {
+	rng := rand.New(rand.NewSource(1))
+	x := New(m, k)
+	y := New(k, n)
+	x.FillNormal(rng, 0, 1)
+	y.FillNormal(rng, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B)  { benchMat(b, 64, 64, 64) }
+func BenchmarkMatMul256(b *testing.B) { benchMat(b, 256, 256, 10) }
+
+func BenchmarkMatMulTransA(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := New(64, 256)
+	y := New(64, 10)
+	x.FillNormal(rng, 0, 1)
+	y.FillNormal(rng, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MatMulTransA(x, y)
+	}
+}
+
+func BenchmarkAxpyInPlace(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := New(27000)
+	y := New(27000)
+	x.FillNormal(rng, 0, 1)
+	y.FillNormal(rng, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.AxpyInPlace(0.001, y)
+	}
+}

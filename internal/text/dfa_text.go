@@ -1,0 +1,183 @@
+package text
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// AttackConfig parameterizes the text DFA variants.
+type AttackConfig struct {
+	// SampleCount is |S|, the number of synthetic sequences per round.
+	SampleCount int
+	// Epochs is E, the synthesis optimization epochs.
+	Epochs int
+	// LR is the synthesis learning rate.
+	LR float64
+	// FineTuneEpochs and FineTuneLR configure the adversarial fine-tuning
+	// of the classifier on (S, Ỹ).
+	FineTuneEpochs int
+	FineTuneLR     float64
+}
+
+func (c *AttackConfig) validate() error {
+	if c.SampleCount <= 0 || c.Epochs <= 0 {
+		return fmt.Errorf("text: invalid attack config %+v", *c)
+	}
+	if c.LR <= 0 {
+		c.LR = 0.05
+	}
+	if c.FineTuneEpochs <= 0 {
+		c.FineTuneEpochs = 3
+	}
+	if c.FineTuneLR <= 0 {
+		c.FineTuneLR = 0.05
+	}
+	return nil
+}
+
+// SynthesizeDFAR is DFA-R for text (Section III-C's Seq2Seq sketch,
+// continuous relaxation): a trainable linear "filter" maps a static random
+// embedding sequence to the synthetic sequence, optimized so the frozen
+// classifier's prediction approaches the uniform distribution. It returns
+// the synthetic embedding sequences [|S|, T, dim] and the per-epoch losses.
+func SynthesizeDFAR(model *RNNClassifier, cfg AttackConfig, rng *rand.Rand) (*tensor.Tensor, []float64, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	dim := model.Dim
+	uniform := nn.UniformTarget(model.Classes)
+
+	// Static random source sequences R and the trainable filter (one shared
+	// linear map, matching the single filter layer of the image variant).
+	src := tensor.New(cfg.SampleCount, model.SeqLen, dim)
+	src.FillUniform(rng, -1, 1)
+	filter := tensor.New(dim, dim)
+	filter.FillUniform(rng, -limit(dim), limit(dim))
+	bias := tensor.New(dim)
+
+	apply := func() *tensor.Tensor {
+		flat := src.Reshape(cfg.SampleCount*model.SeqLen, dim)
+		out := tensor.MatMul(flat, filter)
+		for r := 0; r < out.Shape[0]; r++ {
+			row := out.Data[r*dim : (r+1)*dim]
+			for j := 0; j < dim; j++ {
+				row[j] += bias.Data[j]
+			}
+		}
+		return out.Reshape(cfg.SampleCount, model.SeqLen, dim)
+	}
+
+	losses := make([]float64, cfg.Epochs)
+	for e := 0; e < cfg.Epochs; e++ {
+		synth := apply()
+		logits := model.ForwardEmbeddings(synth, true)
+		loss, grad := nn.CrossEntropySoft(logits, uniform)
+		dx := model.BackwardToEmbeddings(grad)
+		model.ZeroGrads() // classifier is frozen during synthesis
+		// Filter gradients: dFilter = srcᵀ·dx, dBias = colsum(dx).
+		flatSrc := src.Reshape(cfg.SampleCount*model.SeqLen, dim)
+		flatDx := dx.Reshape(cfg.SampleCount*model.SeqLen, dim)
+		dFilter := tensor.MatMulTransA(flatSrc, flatDx)
+		filter.AxpyInPlace(-cfg.LR, dFilter)
+		for r := 0; r < flatDx.Shape[0]; r++ {
+			row := flatDx.Data[r*dim : (r+1)*dim]
+			for j := 0; j < dim; j++ {
+				bias.Data[j] -= cfg.LR * row[j]
+			}
+		}
+		losses[e] = loss
+	}
+	return apply(), losses, nil
+}
+
+// SynthesizeDFAG is DFA-G for text (Section III-D's recurrent-generator
+// sketch, continuous relaxation): a tanh generator maps fixed Gaussian noise
+// sequences to embedding sequences, trained to *maximize* the classifier's
+// cross-entropy against the fixed class Ỹ. It returns the sequences, the
+// per-epoch objective values and Ỹ.
+func SynthesizeDFAG(model *RNNClassifier, cfg AttackConfig, rng *rand.Rand) (*tensor.Tensor, []float64, int, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, 0, err
+	}
+	dim := model.Dim
+	yTilde := rng.Intn(model.Classes)
+	labels := make([]int, cfg.SampleCount)
+	for i := range labels {
+		labels[i] = yTilde
+	}
+
+	noise := tensor.New(cfg.SampleCount, model.SeqLen, dim)
+	noise.FillNormal(rng, 0, 1)
+	wg := tensor.New(dim, dim)
+	wg.FillUniform(rng, -limit(dim), limit(dim))
+	bg := tensor.New(dim)
+
+	apply := func(train bool) (*tensor.Tensor, *tensor.Tensor) {
+		flat := noise.Reshape(cfg.SampleCount*model.SeqLen, dim)
+		pre := tensor.MatMul(flat, wg)
+		for r := 0; r < pre.Shape[0]; r++ {
+			row := pre.Data[r*dim : (r+1)*dim]
+			for j := 0; j < dim; j++ {
+				row[j] += bg.Data[j]
+			}
+		}
+		out := pre.Clone()
+		for i := range out.Data {
+			out.Data[i] = math.Tanh(out.Data[i])
+		}
+		if !train {
+			return out.Reshape(cfg.SampleCount, model.SeqLen, dim), nil
+		}
+		return out.Reshape(cfg.SampleCount, model.SeqLen, dim), out
+	}
+
+	losses := make([]float64, cfg.Epochs)
+	for e := 0; e < cfg.Epochs; e++ {
+		synth, act := apply(true)
+		logits := model.ForwardEmbeddings(synth, true)
+		loss, grad := nn.CrossEntropy(logits, labels)
+		grad.ScaleInPlace(-1) // gradient ascent: steer away from Ỹ
+		dx := model.BackwardToEmbeddings(grad)
+		model.ZeroGrads()
+		// Through tanh: dPre = dx ⊙ (1 − act²).
+		flatDx := dx.Reshape(cfg.SampleCount*model.SeqLen, dim)
+		for i := range flatDx.Data {
+			y := act.Data[i]
+			flatDx.Data[i] *= 1 - y*y
+		}
+		flatNoise := noise.Reshape(cfg.SampleCount*model.SeqLen, dim)
+		dWg := tensor.MatMulTransA(flatNoise, flatDx)
+		wg.AxpyInPlace(-cfg.LR, dWg)
+		for r := 0; r < flatDx.Shape[0]; r++ {
+			row := flatDx.Data[r*dim : (r+1)*dim]
+			for j := 0; j < dim; j++ {
+				bg.Data[j] -= cfg.LR * row[j]
+			}
+		}
+		losses[e] = loss
+	}
+	synth, _ := apply(false)
+	return synth, losses, yTilde, nil
+}
+
+// Poison fine-tunes the classifier on the synthetic embedding set labelled
+// Ỹ — step 2 of the DFA framework — and returns the final training loss.
+func Poison(model *RNNClassifier, synth *tensor.Tensor, yTilde int, cfg AttackConfig) float64 {
+	labels := make([]int, synth.Shape[0])
+	for i := range labels {
+		labels[i] = yTilde
+	}
+	last := 0.0
+	for e := 0; e < cfg.FineTuneEpochs; e++ {
+		logits := model.ForwardEmbeddings(synth, true)
+		loss, grad := nn.CrossEntropy(logits, labels)
+		model.BackwardToEmbeddings(grad)
+		model.Step(cfg.FineTuneLR)
+		last = loss
+	}
+	return last
+}

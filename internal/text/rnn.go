@@ -1,0 +1,309 @@
+package text
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// RNNClassifier is a vanilla recurrent network for fixed-length token
+// sequences: embedding lookup → tanh RNN over time → dense head on the
+// mean-pooled hidden states (pooling aggregates the n-gram evidence the
+// Markov task carries at every step). Backpropagation through time is
+// implemented explicitly; the embedding-sequence forward/backward path
+// (ForwardEmbeddings / BackwardToEmbeddings) is the hook the text DFA
+// attacks optimize through, mirroring how the image attacks backpropagate
+// through the frozen CNN to their synthetic images.
+type RNNClassifier struct {
+	Vocab, Dim, Hidden, Classes, SeqLen int
+
+	emb *tensor.Tensor // [vocab, dim]
+	wxh *tensor.Tensor // [dim, hidden]
+	whh *tensor.Tensor // [hidden, hidden]
+	bh  *tensor.Tensor // [hidden]
+	why *tensor.Tensor // [hidden, classes]
+	by  *tensor.Tensor // [classes]
+
+	gEmb, gWxh, gWhh, gBh, gWhy, gBy *tensor.Tensor
+
+	// BPTT caches of the last training-mode forward pass.
+	lastEmb    *tensor.Tensor   // [batch, T, dim]
+	lastHidden []*tensor.Tensor // T × [batch, hidden]
+	lastPooled *tensor.Tensor   // [batch, hidden]
+	lastTokens [][]int          // nil when the input came as embeddings
+}
+
+// NewRNNClassifier builds the classifier with uniform He-style init.
+func NewRNNClassifier(rng *rand.Rand, vocab, dim, hidden, classes, seqLen int) *RNNClassifier {
+	if vocab < 2 || dim < 1 || hidden < 1 || classes < 2 || seqLen < 1 {
+		panic(fmt.Sprintf("text: invalid RNN config %d/%d/%d/%d/%d", vocab, dim, hidden, classes, seqLen))
+	}
+	m := &RNNClassifier{Vocab: vocab, Dim: dim, Hidden: hidden, Classes: classes, SeqLen: seqLen}
+	m.emb = tensor.New(vocab, dim)
+	m.wxh = tensor.New(dim, hidden)
+	m.whh = tensor.New(hidden, hidden)
+	m.bh = tensor.New(hidden)
+	m.why = tensor.New(hidden, classes)
+	m.by = tensor.New(classes)
+	m.emb.FillUniform(rng, -0.5, 0.5)
+	m.wxh.FillUniform(rng, -limit(dim), limit(dim))
+	m.whh.FillUniform(rng, -limit(hidden), limit(hidden))
+	m.why.FillUniform(rng, -limit(hidden), limit(hidden))
+	m.gEmb = tensor.New(vocab, dim)
+	m.gWxh = tensor.New(dim, hidden)
+	m.gWhh = tensor.New(hidden, hidden)
+	m.gBh = tensor.New(hidden)
+	m.gWhy = tensor.New(hidden, classes)
+	m.gBy = tensor.New(classes)
+	return m
+}
+
+func limit(fan int) float64 { return math.Sqrt(6.0 / float64(fan)) }
+
+// Params returns the trainable tensors.
+func (m *RNNClassifier) Params() []*tensor.Tensor {
+	return []*tensor.Tensor{m.emb, m.wxh, m.whh, m.bh, m.why, m.by}
+}
+
+// Grads returns gradient tensors aligned with Params.
+func (m *RNNClassifier) Grads() []*tensor.Tensor {
+	return []*tensor.Tensor{m.gEmb, m.gWxh, m.gWhh, m.gBh, m.gWhy, m.gBy}
+}
+
+// ZeroGrads clears the accumulated gradients.
+func (m *RNNClassifier) ZeroGrads() {
+	for _, g := range m.Grads() {
+		g.Zero()
+	}
+}
+
+// NumParams returns the total trainable scalar count.
+func (m *RNNClassifier) NumParams() int {
+	total := 0
+	for _, p := range m.Params() {
+		total += p.Len()
+	}
+	return total
+}
+
+// WeightVector flattens the parameters (the federated update currency).
+func (m *RNNClassifier) WeightVector() []float64 {
+	out := make([]float64, 0, m.NumParams())
+	for _, p := range m.Params() {
+		out = append(out, p.Data...)
+	}
+	return out
+}
+
+// SetWeightVector loads a flat vector produced by WeightVector.
+func (m *RNNClassifier) SetWeightVector(v []float64) error {
+	if len(v) != m.NumParams() {
+		return fmt.Errorf("text: weight vector length %d, want %d", len(v), m.NumParams())
+	}
+	off := 0
+	for _, p := range m.Params() {
+		copy(p.Data, v[off:off+p.Len()])
+		off += p.Len()
+	}
+	return nil
+}
+
+// Embed looks up the embedding sequence of a token batch: [batch, T, dim].
+func (m *RNNClassifier) Embed(tokens [][]int) *tensor.Tensor {
+	batch := len(tokens)
+	out := tensor.New(batch, m.SeqLen, m.Dim)
+	for b, seq := range tokens {
+		if len(seq) != m.SeqLen {
+			panic(fmt.Sprintf("text: sequence length %d, want %d", len(seq), m.SeqLen))
+		}
+		for t, tok := range seq {
+			if tok < 0 || tok >= m.Vocab {
+				panic(fmt.Sprintf("text: token %d out of vocab %d", tok, m.Vocab))
+			}
+			copy(out.Data[(b*m.SeqLen+t)*m.Dim:(b*m.SeqLen+t+1)*m.Dim],
+				m.emb.Data[tok*m.Dim:(tok+1)*m.Dim])
+		}
+	}
+	return out
+}
+
+// ForwardTokens classifies token sequences; train retains BPTT caches
+// (including the token identities for the embedding gradient).
+func (m *RNNClassifier) ForwardTokens(tokens [][]int, train bool) *tensor.Tensor {
+	embedded := m.Embed(tokens)
+	logits := m.ForwardEmbeddings(embedded, train)
+	if train {
+		m.lastTokens = tokens
+	}
+	return logits
+}
+
+// ForwardEmbeddings classifies pre-embedded sequences [batch, T, dim] — the
+// continuous input path the DFA text attacks differentiate through.
+func (m *RNNClassifier) ForwardEmbeddings(x *tensor.Tensor, train bool) *tensor.Tensor {
+	batch := x.Shape[0]
+	if x.Shape[1] != m.SeqLen || x.Shape[2] != m.Dim {
+		panic(fmt.Sprintf("text: embeddings shape %v, want [*,%d,%d]", x.Shape, m.SeqLen, m.Dim))
+	}
+	h := tensor.New(batch, m.Hidden)
+	pooled := tensor.New(batch, m.Hidden)
+	var hiddens []*tensor.Tensor
+	for t := 0; t < m.SeqLen; t++ {
+		xt := timeSlice(x, t)         // [batch, dim]
+		a := tensor.MatMul(xt, m.wxh) // [batch, hidden]
+		a.AddInPlace(tensor.MatMul(h, m.whh))
+		for b := 0; b < batch; b++ {
+			row := a.Data[b*m.Hidden : (b+1)*m.Hidden]
+			for j := 0; j < m.Hidden; j++ {
+				row[j] = math.Tanh(row[j] + m.bh.Data[j])
+			}
+		}
+		h = a
+		pooled.AddInPlace(h)
+		if train {
+			hiddens = append(hiddens, h)
+		}
+	}
+	pooled.ScaleInPlace(1 / float64(m.SeqLen))
+	logits := tensor.MatMul(pooled, m.why)
+	for b := 0; b < batch; b++ {
+		row := logits.Data[b*m.Classes : (b+1)*m.Classes]
+		for j := 0; j < m.Classes; j++ {
+			row[j] += m.by.Data[j]
+		}
+	}
+	if train {
+		m.lastEmb = x
+		m.lastHidden = hiddens
+		m.lastPooled = pooled
+		m.lastTokens = nil
+	}
+	return logits
+}
+
+// BackwardToEmbeddings runs BPTT from the logits gradient, accumulating
+// parameter gradients and returning the gradient w.r.t. the embedding
+// sequence. When the last forward came from ForwardTokens, the embedding
+// table's gradient rows are also accumulated.
+func (m *RNNClassifier) BackwardToEmbeddings(gradLogits *tensor.Tensor) *tensor.Tensor {
+	x := m.lastEmb
+	batch := x.Shape[0]
+
+	m.gWhy.AddInPlace(tensor.MatMulTransA(m.lastPooled, gradLogits))
+	for b := 0; b < batch; b++ {
+		row := gradLogits.Data[b*m.Classes : (b+1)*m.Classes]
+		for j := 0; j < m.Classes; j++ {
+			m.gBy.Data[j] += row[j]
+		}
+	}
+	// Every time step receives 1/T of the pooled-head gradient, plus the
+	// recurrent gradient carried back from step t+1.
+	dPool := tensor.MatMulTransB(gradLogits, m.why) // [batch, hidden]
+	dPool.ScaleInPlace(1 / float64(m.SeqLen))
+	dh := tensor.New(batch, m.Hidden)
+	dx := tensor.New(batch, m.SeqLen, m.Dim)
+
+	for t := m.SeqLen - 1; t >= 0; t-- {
+		ht := m.lastHidden[t]
+		// da = (dh + dPool) ⊙ (1 − h²)
+		da := dh.Clone()
+		da.AddInPlace(dPool)
+		for i := range da.Data {
+			y := ht.Data[i]
+			da.Data[i] *= 1 - y*y
+		}
+		xt := timeSlice(x, t)
+		m.gWxh.AddInPlace(tensor.MatMulTransA(xt, da))
+		var hPrev *tensor.Tensor
+		if t > 0 {
+			hPrev = m.lastHidden[t-1]
+		} else {
+			hPrev = tensor.New(batch, m.Hidden)
+		}
+		m.gWhh.AddInPlace(tensor.MatMulTransA(hPrev, da))
+		for b := 0; b < batch; b++ {
+			row := da.Data[b*m.Hidden : (b+1)*m.Hidden]
+			for j := 0; j < m.Hidden; j++ {
+				m.gBh.Data[j] += row[j]
+			}
+		}
+		dxt := tensor.MatMulTransB(da, m.wxh) // [batch, dim]
+		for b := 0; b < batch; b++ {
+			copy(dx.Data[(b*m.SeqLen+t)*m.Dim:(b*m.SeqLen+t+1)*m.Dim],
+				dxt.Data[b*m.Dim:(b+1)*m.Dim])
+		}
+		dh = tensor.MatMulTransB(da, m.whh)
+	}
+
+	if m.lastTokens != nil {
+		for b, seq := range m.lastTokens {
+			for t, tok := range seq {
+				src := dx.Data[(b*m.SeqLen+t)*m.Dim : (b*m.SeqLen+t+1)*m.Dim]
+				dst := m.gEmb.Data[tok*m.Dim : (tok+1)*m.Dim]
+				for i := range src {
+					dst[i] += src[i]
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// timeSlice extracts step t of [batch, T, dim] as a fresh [batch, dim].
+func timeSlice(x *tensor.Tensor, t int) *tensor.Tensor {
+	batch, seqLen, dim := x.Shape[0], x.Shape[1], x.Shape[2]
+	out := tensor.New(batch, dim)
+	for b := 0; b < batch; b++ {
+		copy(out.Data[b*dim:(b+1)*dim], x.Data[(b*seqLen+t)*dim:(b*seqLen+t+1)*dim])
+	}
+	return out
+}
+
+// Step applies one plain-SGD update and zeroes the gradients.
+func (m *RNNClassifier) Step(lr float64) {
+	params := m.Params()
+	grads := m.Grads()
+	for i, p := range params {
+		g := grads[i]
+		for j := range p.Data {
+			p.Data[j] -= lr * g.Data[j]
+		}
+	}
+	m.ZeroGrads()
+}
+
+// TrainBatch performs one step on labelled token sequences, returning the
+// pre-step loss.
+func (m *RNNClassifier) TrainBatch(tokens [][]int, labels []int, lr float64) float64 {
+	logits := m.ForwardTokens(tokens, true)
+	loss, grad := nn.CrossEntropy(logits, labels)
+	m.BackwardToEmbeddings(grad)
+	m.Step(lr)
+	return loss
+}
+
+// Accuracy evaluates top-1 accuracy on a corpus.
+func (m *RNNClassifier) Accuracy(c *Corpus) float64 {
+	if c.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	const batch = 64
+	for start := 0; start < c.Len(); start += batch {
+		end := start + batch
+		if end > c.Len() {
+			end = c.Len()
+		}
+		logits := m.ForwardTokens(c.Seqs[start:end], false)
+		preds := nn.Predict(logits)
+		for i, p := range preds {
+			if p == c.Labels[start+i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(c.Len())
+}

@@ -1,0 +1,116 @@
+// Package text implements the paper's future-work extension (Section VI and
+// the sketches in III-C/III-D): applying the data-free attack to text
+// classification. The paper proposes replacing DFA-R's convolutional filter
+// with a sequence model and DFA-G's TCNN with a recurrent generator; this
+// package provides the substrate — a synthetic text-classification task, a
+// recurrent (RNN) classifier trained by backpropagation through time — and
+// continuous-relaxation DFA attacks that synthesize adversarial *embedding
+// sequences* directly.
+//
+// The continuous relaxation is the one deliberate substitution: gradients
+// cannot flow through discrete token sampling, so the attacks optimize in
+// embedding space, which is exactly the quantity the classifier consumes
+// after its embedding lookup. The attacks therefore exercise the same
+// optimization loop as the image DFA variants (frozen classifier, synthesis
+// objective, adversarial fine-tuning on (S, Ỹ)).
+package text
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Task is a synthetic text-classification problem: each class is a Markov
+// chain over a shared vocabulary, and a sample is a fixed-length token
+// sequence drawn from its class's chain.
+type Task struct {
+	// Vocab is the vocabulary size.
+	Vocab int
+	// SeqLen is the fixed sequence length.
+	SeqLen int
+	// Classes is the number of labels.
+	Classes int
+
+	// chains[c][v] is the transition distribution of class c from token v.
+	chains [][][]float64
+}
+
+// NewTask builds a task with class-conditional Markov chains. Chains are
+// sparse-ish (each token transitions mostly to a small class-specific
+// successor set), which gives classes distinct n-gram signatures an RNN can
+// learn quickly.
+func NewTask(vocab, seqLen, classes int, seed int64) *Task {
+	if vocab < 2 || seqLen < 2 || classes < 2 {
+		panic(fmt.Sprintf("text: invalid task %d/%d/%d", vocab, seqLen, classes))
+	}
+	t := &Task{Vocab: vocab, SeqLen: seqLen, Classes: classes}
+	t.chains = make([][][]float64, classes)
+	for c := 0; c < classes; c++ {
+		rng := rand.New(rand.NewSource(seed + int64(c)*7919))
+		chain := make([][]float64, vocab)
+		for v := 0; v < vocab; v++ {
+			row := make([]float64, vocab)
+			// Two preferred successors per token per class give every class
+			// a sharp bigram signature.
+			for k := 0; k < 2; k++ {
+				row[rng.Intn(vocab)] += 1.0
+			}
+			// Light smoothing so every transition stays possible.
+			total := 0.0
+			for i := range row {
+				row[i] += 0.05
+				total += row[i]
+			}
+			for i := range row {
+				row[i] /= total
+			}
+			chain[v] = row
+		}
+		t.chains[c] = chain
+	}
+	return t
+}
+
+// Sample draws one token sequence of the given class.
+func (t *Task) Sample(class int, rng *rand.Rand) []int {
+	seq := make([]int, t.SeqLen)
+	cur := rng.Intn(t.Vocab)
+	seq[0] = cur
+	for i := 1; i < t.SeqLen; i++ {
+		row := t.chains[class][cur]
+		u := rng.Float64()
+		cum := 0.0
+		next := t.Vocab - 1
+		for v, p := range row {
+			cum += p
+			if u < cum {
+				next = v
+				break
+			}
+		}
+		seq[i] = next
+		cur = next
+	}
+	return seq
+}
+
+// Corpus is a labelled set of token sequences.
+type Corpus struct {
+	Seqs    [][]int
+	Labels  []int
+	Classes int
+}
+
+// Generate draws n balanced samples.
+func (t *Task) Generate(n int, rng *rand.Rand) *Corpus {
+	c := &Corpus{Seqs: make([][]int, n), Labels: make([]int, n), Classes: t.Classes}
+	for i := 0; i < n; i++ {
+		label := rng.Intn(t.Classes)
+		c.Labels[i] = label
+		c.Seqs[i] = t.Sample(label, rng)
+	}
+	return c
+}
+
+// Len returns the number of samples.
+func (c *Corpus) Len() int { return len(c.Seqs) }

@@ -1,0 +1,236 @@
+package text
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func testTask() *Task { return NewTask(20, 10, 4, 1) }
+
+func trainClassifier(t *testing.T, task *Task, epochs int) (*RNNClassifier, *Corpus, *Corpus) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(2))
+	train := task.Generate(600, rng)
+	test := task.Generate(200, rng)
+	model := NewRNNClassifier(rand.New(rand.NewSource(3)), task.Vocab, 8, 16, task.Classes, task.SeqLen)
+	for e := 0; e < epochs; e++ {
+		for start := 0; start < train.Len(); start += 32 {
+			end := start + 32
+			if end > train.Len() {
+				end = train.Len()
+			}
+			model.TrainBatch(train.Seqs[start:end], train.Labels[start:end], 0.1)
+		}
+	}
+	return model, train, test
+}
+
+func TestTaskSampling(t *testing.T) {
+	task := testTask()
+	rng := rand.New(rand.NewSource(4))
+	seq := task.Sample(0, rng)
+	if len(seq) != task.SeqLen {
+		t.Fatalf("sequence length %d", len(seq))
+	}
+	for _, tok := range seq {
+		if tok < 0 || tok >= task.Vocab {
+			t.Fatalf("token %d out of vocab", tok)
+		}
+	}
+	corpus := task.Generate(100, rng)
+	if corpus.Len() != 100 {
+		t.Fatalf("corpus size %d", corpus.Len())
+	}
+	seen := map[int]bool{}
+	for _, l := range corpus.Labels {
+		seen[l] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("corpus should contain multiple classes")
+	}
+}
+
+func TestTaskInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid task")
+		}
+	}()
+	NewTask(1, 10, 4, 1)
+}
+
+func TestRNNLearnsTask(t *testing.T) {
+	task := testTask()
+	model, _, test := trainClassifier(t, task, 20)
+	acc := model.Accuracy(test)
+	if acc < 0.55 {
+		t.Fatalf("RNN failed to learn the Markov task: accuracy %.3f", acc)
+	}
+}
+
+func TestRNNWeightVectorRoundTrip(t *testing.T) {
+	task := testTask()
+	a := NewRNNClassifier(rand.New(rand.NewSource(5)), task.Vocab, 8, 16, task.Classes, task.SeqLen)
+	b := NewRNNClassifier(rand.New(rand.NewSource(6)), task.Vocab, 8, 16, task.Classes, task.SeqLen)
+	v := a.WeightVector()
+	if len(v) != a.NumParams() {
+		t.Fatalf("weight vector length %d", len(v))
+	}
+	if err := b.SetWeightVector(v); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	corpus := task.Generate(16, rng)
+	la := a.ForwardTokens(corpus.Seqs, false)
+	lb := b.ForwardTokens(corpus.Seqs, false)
+	for i := range la.Data {
+		if la.Data[i] != lb.Data[i] {
+			t.Fatal("equal weights should give identical logits")
+		}
+	}
+	if err := b.SetWeightVector(v[:5]); err == nil {
+		t.Fatal("expected error for truncated vector")
+	}
+}
+
+// TestRNNGradients is the BPTT correctness check: analytic gradients of all
+// parameters and of the embedding input against central finite differences.
+func TestRNNGradients(t *testing.T) {
+	task := NewTask(10, 5, 3, 8)
+	model := NewRNNClassifier(rand.New(rand.NewSource(9)), task.Vocab, 4, 6, task.Classes, task.SeqLen)
+	rng := rand.New(rand.NewSource(10))
+	corpus := task.Generate(3, rng)
+
+	lossOf := func() float64 {
+		loss, _ := nn.CrossEntropy(model.ForwardTokens(corpus.Seqs, false), corpus.Labels)
+		return loss
+	}
+
+	model.ZeroGrads()
+	logits := model.ForwardTokens(corpus.Seqs, true)
+	_, grad := nn.CrossEntropy(logits, corpus.Labels)
+	dx := model.BackwardToEmbeddings(grad)
+
+	const eps = 1e-5
+	const tol = 1e-4
+	for pi, p := range model.Params() {
+		g := model.Grads()[pi]
+		checks := 10
+		if p.Len() < checks {
+			checks = p.Len()
+		}
+		for c := 0; c < checks; c++ {
+			i := rng.Intn(p.Len())
+			orig := p.Data[i]
+			p.Data[i] = orig + eps
+			lp := lossOf()
+			p.Data[i] = orig - eps
+			lm := lossOf()
+			p.Data[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			analytic := g.Data[i]
+			if math.Abs(numeric-analytic) > tol*math.Max(1, math.Abs(numeric)) {
+				t.Errorf("param %d coord %d: analytic %.8f vs numeric %.8f", pi, i, analytic, numeric)
+			}
+		}
+	}
+
+	// Input (embedding-sequence) gradient via ForwardEmbeddings.
+	x := model.Embed(corpus.Seqs)
+	model.ZeroGrads()
+	logits = model.ForwardEmbeddings(x, true)
+	_, grad = nn.CrossEntropy(logits, corpus.Labels)
+	dx = model.BackwardToEmbeddings(grad)
+	model.ZeroGrads()
+	for c := 0; c < 15; c++ {
+		i := rng.Intn(x.Len())
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		lp, _ := nn.CrossEntropy(model.ForwardEmbeddings(x, false), corpus.Labels)
+		x.Data[i] = orig - eps
+		lm, _ := nn.CrossEntropy(model.ForwardEmbeddings(x, false), corpus.Labels)
+		x.Data[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(numeric-dx.Data[i]) > tol*math.Max(1, math.Abs(numeric)) {
+			t.Errorf("input coord %d: analytic %.8f vs numeric %.8f", i, dx.Data[i], numeric)
+		}
+	}
+}
+
+func TestDFARTextLossDecreases(t *testing.T) {
+	task := testTask()
+	model, _, _ := trainClassifier(t, task, 5)
+	cfg := AttackConfig{SampleCount: 12, Epochs: 10, LR: 0.05}
+	synth, losses, err := SynthesizeDFAR(model, cfg, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if synth.Shape[0] != 12 || synth.Shape[1] != task.SeqLen || synth.Shape[2] != model.Dim {
+		t.Fatalf("synthetic shape %v", synth.Shape)
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("DFA-R text loss should decrease: %.4f -> %.4f", losses[0], losses[len(losses)-1])
+	}
+	if losses[len(losses)-1] < math.Log(float64(task.Classes))-1e-9 {
+		t.Fatalf("loss %v below ln(L)", losses[len(losses)-1])
+	}
+}
+
+func TestDFAGTextObjectiveIncreases(t *testing.T) {
+	task := testTask()
+	model, _, _ := trainClassifier(t, task, 5)
+	cfg := AttackConfig{SampleCount: 12, Epochs: 10, LR: 0.05}
+	synth, losses, yTilde, err := SynthesizeDFAG(model, cfg, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yTilde < 0 || yTilde >= task.Classes {
+		t.Fatalf("target class %d", yTilde)
+	}
+	if synth.Shape[0] != 12 {
+		t.Fatalf("synthetic shape %v", synth.Shape)
+	}
+	if losses[len(losses)-1] <= losses[0] {
+		t.Fatalf("DFA-G text objective should increase: %.4f -> %.4f", losses[0], losses[len(losses)-1])
+	}
+	// Generator outputs live in tanh range like real embeddings.
+	for _, v := range synth.Data {
+		if v < -1 || v > 1 {
+			t.Fatalf("synthetic embedding %v outside [-1,1]", v)
+		}
+	}
+}
+
+// TestTextPoisoningReducesAccuracy is the end-to-end extension check: the
+// data-free synthetic sequences, labelled Ỹ, measurably degrade a trained
+// text classifier — the text analogue of the paper's image result.
+func TestTextPoisoningReducesAccuracy(t *testing.T) {
+	task := testTask()
+	model, _, test := trainClassifier(t, task, 6)
+	before := model.Accuracy(test)
+
+	cfg := AttackConfig{SampleCount: 24, Epochs: 8, LR: 0.05, FineTuneEpochs: 6, FineTuneLR: 0.1}
+	synth, _, yTilde, err := SynthesizeDFAG(model, cfg, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Poison(model, synth, yTilde, cfg)
+	after := model.Accuracy(test)
+	if after >= before {
+		t.Fatalf("text poisoning should reduce accuracy: %.3f -> %.3f", before, after)
+	}
+}
+
+func TestAttackConfigValidation(t *testing.T) {
+	task := testTask()
+	model := NewRNNClassifier(rand.New(rand.NewSource(14)), task.Vocab, 4, 8, task.Classes, task.SeqLen)
+	if _, _, err := SynthesizeDFAR(model, AttackConfig{}, rand.New(rand.NewSource(15))); err == nil {
+		t.Fatal("expected error for empty config")
+	}
+	if _, _, _, err := SynthesizeDFAG(model, AttackConfig{SampleCount: 1}, rand.New(rand.NewSource(16))); err == nil {
+		t.Fatal("expected error for zero epochs")
+	}
+}

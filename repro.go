@@ -1,0 +1,84 @@
+// Package repro is a from-scratch Go reproduction of "Fabricated Flips:
+// Poisoning Federated Learning without Data" (Huang, Zhao, Chen, Roos — DSN
+// 2023): the data-free untargeted attacks DFA-R and DFA-G, the baseline
+// attacks and robust-aggregation defenses they are evaluated against, and
+// the REFD reference-dataset defense, together with the complete
+// experimental harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// The package is a thin facade over the implementation packages:
+//
+//   - internal/tensor, internal/vec — numerical substrate
+//   - internal/nn — CNN training stack (conv, transposed conv, backprop)
+//   - internal/dataset — synthetic Fashion-MNIST/CIFAR-10/SVHN analogues
+//     and Dirichlet partitioning
+//   - internal/fl — federated round loop, ASR/DPR metric accounting
+//   - internal/defense — FedAvg, Median, Trimmed mean, Krum/mKrum, Bulyan
+//   - internal/attack — LIE, Fang, Min-Max, Min-Sum, random, label-flip
+//   - internal/core — DFA-R, DFA-G, L_d regularization, REFD (the paper's
+//     contributions)
+//   - internal/experiment — named experiments for every table and figure
+//
+// Use RunExperiment to regenerate a paper artifact, or RunConfig for a
+// single custom simulation. The cmd/flbench and cmd/flsim binaries wrap
+// these entry points.
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/experiment"
+)
+
+// Config is a single-simulation configuration; see the field documentation
+// in internal/experiment.
+type Config = experiment.Config
+
+// Outcome is a simulation result with the paper's metrics (ASR, DPR, clean
+// and attacked accuracies).
+type Outcome = experiment.Outcome
+
+// Profile scales experiments between the fast "quick" setting and the
+// paper-faithful "full" setting.
+type Profile = experiment.Profile
+
+// NewRunner returns a fresh experiment runner with an empty clean-baseline
+// cache.
+func NewRunner() *experiment.Runner { return experiment.NewRunner() }
+
+// RunConfig executes a single simulation, filling the clean baseline and
+// attack success rate.
+func RunConfig(cfg Config) (*Outcome, error) {
+	return experiment.NewRunner().Run(cfg)
+}
+
+// Experiments lists the IDs of all reproducible paper artifacts in paper
+// order (table2, fig4, … samplesize).
+func Experiments() []string {
+	all := experiment.All()
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// RunExperiment regenerates the named table or figure under the given
+// profile ("quick" or "full"), writing the paper-style rows to w.
+func RunExperiment(id, profileName string, w io.Writer) error {
+	exp, ok := experiment.ByID(id)
+	if !ok {
+		return fmt.Errorf("repro: unknown experiment %q (known: %v)", id, Experiments())
+	}
+	profile, ok := experiment.ProfileByName(profileName)
+	if !ok {
+		return fmt.Errorf("repro: unknown profile %q (known: quick, full)", profileName)
+	}
+	runner := experiment.NewRunner()
+	runner.AverageSeeds = profile.SeedCount
+	if _, err := fmt.Fprintf(w, "# %s [profile=%s]\n", exp.Title, profile.Name); err != nil {
+		return err
+	}
+	return exp.Run(runner, profile, w)
+}
