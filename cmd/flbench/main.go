@@ -4,7 +4,13 @@
 //
 //	flbench -exp table2            # one artifact, quick profile
 //	flbench -exp all -profile full # the whole evaluation, paper settings
+//	flbench -exp all -store run.jsonl          # journal cells as they finish
+//	flbench -exp all -store run.jsonl -resume  # skip cells a killed run completed
 //	flbench -list                  # enumerate artifacts
+//
+// With -store, every completed grid cell is appended to a durable JSONL
+// run store; re-running with -resume replays those cells instead of
+// recomputing them, so an interrupted sweep finishes only its missing work.
 package main
 
 import (
@@ -27,6 +33,9 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("flbench", flag.ContinueOnError)
 	expID := fs.String("exp", "all", "experiment id (see -list) or \"all\"")
 	profile := fs.String("profile", "quick", "scaling profile: quick or full")
+	storePath := fs.String("store", "", "JSONL run-store path; completed cells are journaled for resume (empty = off)")
+	resume := fs.Bool("resume", false, "replay cells already present in -store instead of recomputing them")
+	progress := fs.Bool("progress", false, "stream per-cell completion lines with ETA to stderr")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -37,13 +46,24 @@ func run(args []string) error {
 		}
 		return nil
 	}
+	if *resume && *storePath == "" {
+		return fmt.Errorf("-resume requires -store")
+	}
+	opts := repro.RunOptions{
+		Profile:   *profile,
+		StorePath: *storePath,
+		Resume:    *resume,
+	}
+	if *progress {
+		opts.Progress = repro.ProgressWriter(os.Stderr)
+	}
 	ids := repro.Experiments()
 	if *expID != "all" {
 		ids = []string{*expID}
 	}
 	for _, id := range ids {
 		start := time.Now()
-		if err := repro.RunExperiment(id, *profile, os.Stdout); err != nil {
+		if err := repro.RunExperimentOpts(id, opts, os.Stdout); err != nil {
 			return err
 		}
 		fmt.Printf("## %s done in %v\n\n", id, time.Since(start).Round(time.Millisecond))

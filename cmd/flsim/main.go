@@ -5,6 +5,7 @@
 // Example:
 //
 //	flsim -dataset cifar-sim -attack dfa-g -defense bulyan -beta 0.5 -rounds 20
+//	flsim -attack dfa-r -store run.jsonl -resume   # free re-print of a journaled run
 package main
 
 import (
@@ -40,12 +41,17 @@ func run(args []string) error {
 	fs.Int64Var(&cfg.Seed, "seed", 1, "random seed")
 	fs.IntVar(&cfg.EvalLimit, "eval-limit", 500, "test samples per evaluation (0 = all)")
 	fs.BoolVar(&cfg.NoReg, "no-reg", false, "disable the distance-based regularization L_d")
+	storePath := fs.String("store", "", "JSONL run-store path; the completed run is journaled for resume (empty = off)")
+	resume := fs.Bool("resume", false, "replay the run from -store if already journaled instead of recomputing it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *resume && *storePath == "" {
+		return fmt.Errorf("-resume requires -store")
+	}
 
 	start := time.Now()
-	out, err := repro.RunConfig(cfg)
+	out, err := runConfig(cfg, *storePath, *resume)
 	if err != nil {
 		return err
 	}
@@ -65,4 +71,13 @@ func run(args []string) error {
 		out.CleanAcc*100, out.MaxAcc*100, out.FinalAcc*100, out.ASR, dpr,
 		time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// runConfig executes the single configuration, optionally journaling it to
+// (and resuming it from) a durable run store.
+func runConfig(cfg repro.Config, storePath string, resume bool) (*repro.Outcome, error) {
+	if storePath == "" {
+		return repro.RunConfig(cfg)
+	}
+	return repro.RunConfigOpts(cfg, repro.RunOptions{StorePath: storePath, Resume: resume})
 }

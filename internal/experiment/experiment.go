@@ -161,9 +161,11 @@ type Outcome struct {
 	// defense does not select ("N/A" in the paper).
 	DPR float64
 	// AccTimeline holds per-round accuracies (NaN where not evaluated).
+	// Under seed averaging it is the element-wise mean across seeds.
 	AccTimeline []float64
 	// SynthesisLoss holds the DFA per-round per-epoch synthesis losses
-	// (Fig. 7); nil for other attacks.
+	// (Fig. 7); nil for other attacks. Under seed averaging it is the
+	// first seed's trace: the loss curves are per-run diagnostics.
 	SynthesisLoss [][]float64
 }
 

@@ -1,0 +1,39 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// simulatedCellCost stands in for one federated run when benchmarking the
+// scheduler itself rather than the training stack.
+const simulatedCellCost = 2 * time.Millisecond
+
+// BenchmarkRunGridScheduling measures the grid engine's wall-clock on a
+// sweep with several distinct clean baselines. The seed runner prewarmed
+// every baseline serially before the worker pool started; the singleflight
+// scheduler overlaps baseline computation with the rest of the grid, so
+// with >= 4 workers this benchmark completes in roughly
+// ceil(cells/workers) x cost instead of baselines x cost + grid time.
+func BenchmarkRunGridScheduling(b *testing.B) {
+	var cfgs []Config
+	for _, seed := range []int64{1, 2, 3, 4} { // four distinct baselines
+		for _, atk := range []string{"lie", "fang", "minmax"} {
+			cfg := tinyCfg(atk, "mkrum")
+			cfg.Seed = seed
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewRunner()
+		r.runFn = func(cfg Config) (*Outcome, error) {
+			time.Sleep(simulatedCellCost)
+			return fakeRun(cfg)
+		}
+		if _, err := r.RunGrid(cfgs, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,29 +4,79 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/fl"
 )
 
 // Runner executes configurations and caches the clean "no attack, no
 // defense" accuracy baselines (the acc of Eq. 4), so that a grid of attacked
-// runs over one dataset pays for its baseline only once.
+// runs over one dataset pays for its baseline only once. Baselines are
+// deduplicated by a per-key singleflight latch: the first cell that needs a
+// baseline computes it while cells with other (or no) baseline needs keep
+// running — there is no serial warm-up phase.
 type Runner struct {
 	mu         sync.Mutex
-	cleanCache map[string]float64
+	cleanCache map[string]*baselineCell
 	// AverageSeeds runs every config with this many consecutive seeds and
 	// averages the metrics, as the paper averages over three runs.
 	// 0 means a single run.
 	AverageSeeds int
+	// Store, when non-nil, durably journals every completed grid cell and
+	// clean baseline, making sweeps crash-resumable.
+	Store RunStore
+	// Resume, together with Store, replays journaled cells instead of
+	// recomputing them: an interrupted RunGrid restarted against the same
+	// store executes only the missing cells.
+	Resume bool
+	// Progress, when non-nil, receives one event per completed grid cell
+	// (including cells replayed from the store). Events are delivered
+	// serially; the callback does not need its own locking.
+	Progress func(ProgressEvent)
+	// runFn executes a single raw configuration; tests substitute it to
+	// observe scheduling without paying for real training.
+	runFn func(Config) (*Outcome, error)
+}
+
+// baselineCell is the singleflight latch for one clean baseline: the first
+// goroutine to arrive computes, everyone else waits on the Once.
+type baselineCell struct {
+	once sync.Once
+	acc  float64
+	err  error
+}
+
+// ProgressEvent reports the completion of one grid cell.
+type ProgressEvent struct {
+	// Done and Total count completed and scheduled cells.
+	Done, Total int
+	// Config identifies the cell, whether it succeeded or failed.
+	Config Config
+	// Skipped marks a cell replayed from the run store rather than executed.
+	Skipped bool
+	// Outcome is the completed cell's result (nil when the cell failed).
+	Outcome *Outcome
+	// Err is the cell's failure, surfaced as it happens rather than only
+	// in RunGrid's aggregate error after the sweep drains.
+	Err error
+	// Elapsed is the wall-clock time since the grid started.
+	Elapsed time.Duration
+	// ETA estimates the remaining wall-clock time as remaining cells times
+	// the mean wall-clock per completed cell (which already reflects
+	// worker parallelism); zero when no cell has executed yet or the grid
+	// is done.
+	ETA time.Duration
 }
 
 // NewRunner returns a Runner with an empty baseline cache.
 func NewRunner() *Runner {
-	return &Runner{cleanCache: make(map[string]float64)}
+	return &Runner{cleanCache: make(map[string]*baselineCell), runFn: Run}
 }
 
 // CleanAccuracy returns the cached or freshly computed clean baseline
-// accuracy for cfg's dataset/heterogeneity/seed.
+// accuracy for cfg's dataset/heterogeneity/seed. Concurrent callers sharing
+// a baseline block only each other: the first computes, the rest wait on
+// its latch, and callers with different keys proceed independently.
 func (r *Runner) CleanAccuracy(cfg Config) (float64, error) {
 	if err := cfg.Normalize(); err != nil {
 		return 0, err
@@ -38,24 +88,65 @@ func (r *Runner) CleanAccuracy(cfg Config) (float64, error) {
 	key := clean.cleanKey()
 
 	r.mu.Lock()
-	if acc, ok := r.cleanCache[key]; ok {
-		r.mu.Unlock()
-		return acc, nil
+	cell, ok := r.cleanCache[key]
+	if !ok {
+		cell = &baselineCell{}
+		r.cleanCache[key] = cell
 	}
 	r.mu.Unlock()
 
-	out, err := Run(clean)
+	cell.once.Do(func() {
+		cell.acc, cell.err = r.computeBaseline(clean)
+	})
+	if cell.err != nil {
+		// Evict the failed cell so a later caller retries instead of
+		// replaying a possibly transient error (e.g. a store write
+		// failure) forever; successes stay cached.
+		r.mu.Lock()
+		if r.cleanCache[key] == cell {
+			delete(r.cleanCache, key)
+		}
+		r.mu.Unlock()
+	}
+	return cell.acc, cell.err
+}
+
+// computeBaseline resolves one clean baseline: from the run store when
+// resuming, otherwise by running the clean configuration (and journaling
+// the result so the next resume skips it).
+func (r *Runner) computeBaseline(clean Config) (float64, error) {
+	var key string
+	if r.Store != nil {
+		k, err := baselineKey(clean)
+		if err != nil {
+			return 0, err
+		}
+		key = k
+		if r.Resume {
+			if out, ok, err := r.Store.Lookup(key); err != nil {
+				return 0, fmt.Errorf("experiment: clean baseline store: %w", err)
+			} else if ok {
+				return out.MaxAcc, nil
+			}
+		}
+	}
+	out, err := r.runFn(clean)
 	if err != nil {
 		return 0, fmt.Errorf("experiment: clean baseline: %w", err)
 	}
-	r.mu.Lock()
-	r.cleanCache[key] = out.MaxAcc
-	r.mu.Unlock()
+	if r.Store != nil {
+		if err := r.Store.Record(key, out); err != nil {
+			return 0, fmt.Errorf("experiment: clean baseline store: %w", err)
+		}
+	}
 	return out.MaxAcc, nil
 }
 
 // Run executes cfg (averaging over seeds when configured) and fills
-// CleanAcc and ASR from the matching clean baseline.
+// CleanAcc and ASR from the matching clean baseline. The per-round
+// AccTimeline is averaged element-wise across seeds; SynthesisLoss is the
+// first seed's trace (the loss curves of Fig. 7 are per-run diagnostics,
+// not averaged quantities).
 func (r *Runner) Run(cfg Config) (*Outcome, error) {
 	if err := cfg.Normalize(); err != nil {
 		return nil, err
@@ -81,6 +172,11 @@ func (r *Runner) Run(cfg Config) (*Outcome, error) {
 		agg.FinalAcc += out.FinalAcc
 		agg.ASR += out.ASR
 		agg.DPR += out.DPR // NaN propagates, as desired
+		for i := range agg.AccTimeline {
+			if i < len(out.AccTimeline) {
+				agg.AccTimeline[i] += out.AccTimeline[i]
+			}
+		}
 	}
 	inv := 1.0 / float64(seeds)
 	agg.CleanAcc *= inv
@@ -88,12 +184,15 @@ func (r *Runner) Run(cfg Config) (*Outcome, error) {
 	agg.FinalAcc *= inv
 	agg.ASR *= inv
 	agg.DPR *= inv
+	for i := range agg.AccTimeline {
+		agg.AccTimeline[i] *= inv
+	}
 	agg.Config = cfg
 	return agg, nil
 }
 
 func (r *Runner) runOne(cfg Config) (*Outcome, error) {
-	out, err := Run(cfg)
+	out, err := r.runFn(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -106,40 +205,90 @@ func (r *Runner) runOne(cfg Config) (*Outcome, error) {
 	return out, nil
 }
 
+// progressTracker serializes ProgressEvent delivery and derives the ETA.
+type progressTracker struct {
+	mu       sync.Mutex
+	cb       func(ProgressEvent)
+	total    int
+	done     int
+	executed int
+	start    time.Time
+}
+
+func newProgressTracker(cb func(ProgressEvent), total int) *progressTracker {
+	if cb == nil {
+		return nil
+	}
+	return &progressTracker{cb: cb, total: total, start: time.Now()}
+}
+
+func (p *progressTracker) report(cfg Config, out *Outcome, err error, skipped bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	if !skipped {
+		p.executed++
+	}
+	elapsed := time.Since(p.start)
+	var eta time.Duration
+	if remaining := p.total - p.done; remaining > 0 && p.executed > 0 {
+		// elapsed/executed is wall-clock per completed cell, which already
+		// amortizes worker parallelism — no further division by workers.
+		perCell := float64(elapsed) / float64(p.executed)
+		eta = time.Duration(perCell * float64(remaining))
+	}
+	p.cb(ProgressEvent{
+		Done:    p.done,
+		Total:   p.total,
+		Config:  cfg,
+		Skipped: skipped,
+		Outcome: out,
+		Err:     err,
+		Elapsed: elapsed,
+		ETA:     eta,
+	})
+}
+
 // RunGrid executes the configurations concurrently (bounded by workers;
 // workers <= 0 uses GOMAXPROCS) and returns outcomes in input order. Clean
-// baselines are computed first so concurrent cells never duplicate them.
+// baselines are deduplicated in-flight by CleanAccuracy's singleflight
+// latch, so the grid starts on all cells immediately instead of prewarming
+// baselines serially. With a Store configured, every completed cell is
+// journaled; with Resume also set, cells already journaled are returned
+// from the store without execution, so a killed sweep re-run against the
+// same store completes only the remaining cells.
 func (r *Runner) RunGrid(cfgs []Config, workers int) ([]*Outcome, error) {
+	if len(cfgs) == 0 {
+		return nil, nil
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(cfgs) {
 		workers = len(cfgs)
 	}
-	// Warm the baseline cache serially (deduplicated by key).
-	seen := make(map[string]bool)
-	for _, cfg := range cfgs {
-		c := cfg
-		if err := c.Normalize(); err != nil {
-			return nil, err
+	seeds := r.AverageSeeds
+	if seeds < 1 {
+		seeds = 1
+	}
+
+	// Resolve cell identities up front; a malformed config fails fast.
+	keys := make([]string, len(cfgs))
+	if r.Store != nil {
+		for i, cfg := range cfgs {
+			key, err := runKey(cfg, seeds)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = key
 		}
-		clean := c
-		clean.Attack = "none"
-		clean.Defense = "fedavg"
-		clean.AttackerFrac = 0
-		key := clean.cleanKey()
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		seeds := r.AverageSeeds
-		if seeds <= 1 {
-			seeds = 1
-		}
-		for s := 0; s < seeds; s++ {
-			cs := c
-			cs.Seed = c.Seed + int64(s)*1000003
-			if _, err := r.CleanAccuracy(cs); err != nil {
+	} else {
+		for _, cfg := range cfgs {
+			c := cfg
+			if err := c.Normalize(); err != nil {
 				return nil, err
 			}
 		}
@@ -147,6 +296,33 @@ func (r *Runner) RunGrid(cfgs []Config, workers int) ([]*Outcome, error) {
 
 	outcomes := make([]*Outcome, len(cfgs))
 	errs := make([]error, len(cfgs))
+
+	// Replay journaled cells before scheduling workers.
+	var pending []int
+	for i := range cfgs {
+		if r.Store != nil && r.Resume {
+			out, ok, err := r.Store.Lookup(keys[i])
+			if err != nil {
+				return nil, fmt.Errorf("experiment: grid cell %d: store: %w", i, err)
+			}
+			if ok {
+				outcomes[i] = out
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	prog := newProgressTracker(r.Progress, len(cfgs))
+	for i := range cfgs {
+		if outcomes[i] != nil {
+			prog.report(outcomes[i].Config, outcomes[i], nil, true)
+		}
+	}
+
 	work := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -154,11 +330,26 @@ func (r *Runner) RunGrid(cfgs []Config, workers int) ([]*Outcome, error) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				outcomes[i], errs[i] = r.Run(cfgs[i])
+				out, err := r.Run(cfgs[i])
+				if err == nil && r.Store != nil {
+					if rerr := r.Store.Record(keys[i], out); rerr != nil {
+						err = fmt.Errorf("store: %w", rerr)
+					}
+				}
+				outcomes[i], errs[i] = out, err
+				if err != nil {
+					// Report the normalized config so a cell renders the
+					// same whether it executed, failed, or was resumed.
+					c := cfgs[i]
+					_ = c.Normalize() // validated before scheduling
+					prog.report(c, nil, err, false)
+					continue
+				}
+				prog.report(out.Config, out, nil, false)
 			}
 		}()
 	}
-	for i := range cfgs {
+	for _, i := range pending {
 		work <- i
 	}
 	close(work)

@@ -1,0 +1,180 @@
+package flnet
+
+import (
+	"math/rand"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/defense"
+	"repro/internal/nn"
+	"repro/internal/persist"
+)
+
+// runCheckpointedFederation runs a 2-client federation for the given total
+// round budget against a shared checkpoint path and returns the result.
+func runCheckpointedFederation(t *testing.T, ckpt string, rounds int) *ServerResult {
+	t.Helper()
+	spec := dataset.TinySpec()
+	train, test := dataset.Generate(spec, 11)
+	newModel := func(rng *rand.Rand) *nn.Network {
+		return nn.NewFashionCNN(rng, spec.Channels, spec.Size, spec.Classes)
+	}
+	shards := dataset.PartitionIID(rand.New(rand.NewSource(8)), train.Len(), 2)
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+
+	srv, err := NewServer(ServerConfig{
+		MinClients:     2,
+		PerRound:       2,
+		Rounds:         rounds,
+		RoundTimeout:   10 * time.Second,
+		Seed:           6,
+		CheckpointPath: ckpt,
+		DatasetName:    spec.Name,
+		ModelName:      "fashion-cnn",
+	}, defense.FedAvg{}, newModel, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type serveOut struct {
+		res *ServerResult
+		err error
+	}
+	serverDone := make(chan serveOut, 1)
+	go func() {
+		res, err := srv.Serve(lis)
+		serverDone <- serveOut{res, err}
+	}()
+
+	addr := lis.Addr().String()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(20 + i)))
+			trainer := NewBenignTrainer(train, shards[i], newModel, 0.05, 1, 8, rng)
+			client, err := Dial(addr, trainer, 10*time.Second)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := client.Run(); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	out := <-serverDone
+	if out.err != nil {
+		t.Fatalf("server: %v", out.err)
+	}
+	return out.res
+}
+
+// TestServerResumesFromCheckpoint kills-and-restarts a checkpointed server:
+// the restarted server must continue at the round after the checkpoint, not
+// from round zero with fresh weights.
+func TestServerResumesFromCheckpoint(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "federation.ckpt")
+
+	// First life: rounds 0 and 1, checkpointing each.
+	res1 := runCheckpointedFederation(t, ckpt, 2)
+	if len(res1.Rounds) != 2 || res1.Rounds[0].Round != 0 {
+		t.Fatalf("first run rounds: %+v", res1.Rounds)
+	}
+
+	// Restart with the same round budget: the checkpoint says everything is
+	// done, so the server runs zero rounds and redistributes the
+	// checkpointed weights untouched.
+	res2 := runCheckpointedFederation(t, ckpt, 2)
+	if len(res2.Rounds) != 0 {
+		t.Fatalf("fully-checkpointed server re-ran %d rounds", len(res2.Rounds))
+	}
+	if res2.MaxAccuracy != res1.MaxAccuracy {
+		t.Fatalf("resumed MaxAccuracy %.4f, want pre-crash %.4f", res2.MaxAccuracy, res1.MaxAccuracy)
+	}
+	if len(res2.FinalWeights) != len(res1.FinalWeights) {
+		t.Fatal("resumed weights length diverges")
+	}
+	for i := range res2.FinalWeights {
+		if res2.FinalWeights[i] != res1.FinalWeights[i] {
+			t.Fatalf("resumed weights diverge from checkpoint at %d", i)
+		}
+	}
+
+	// Restart with a larger budget: training continues at round 2.
+	res3 := runCheckpointedFederation(t, ckpt, 4)
+	if len(res3.Rounds) != 2 {
+		t.Fatalf("resumed server ran %d rounds, want the 2 remaining", len(res3.Rounds))
+	}
+	if res3.Rounds[0].Round != 2 || res3.Rounds[1].Round != 3 {
+		t.Fatalf("resumed rounds %d,%d, want 2,3", res3.Rounds[0].Round, res3.Rounds[1].Round)
+	}
+}
+
+// TestServerRejectsMismatchedCheckpoint: resuming across a different task
+// or architecture must fail before any client joins.
+func TestServerRejectsMismatchedCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	spec := dataset.TinySpec()
+	_, test := dataset.Generate(spec, 12)
+	newModel := func(rng *rand.Rand) *nn.Network {
+		return nn.NewFashionCNN(rng, spec.Channels, spec.Size, spec.Classes)
+	}
+	wantLen := len(newModel(rand.New(rand.NewSource(1))).WeightVector())
+
+	cases := []struct {
+		name string
+		cp   persist.Checkpoint
+	}{
+		{"dataset", persist.Checkpoint{Round: 0, Dataset: "cifar-sim", Model: "fashion-cnn", Weights: make([]float64, wantLen), Accuracy: -1}},
+		{"model", persist.Checkpoint{Round: 0, Dataset: spec.Name, Model: "deep-cnn", Weights: make([]float64, wantLen), Accuracy: -1}},
+		{"weights", persist.Checkpoint{Round: 0, Dataset: spec.Name, Model: "fashion-cnn", Weights: make([]float64, wantLen+1), Accuracy: -1}},
+		{"round", persist.Checkpoint{Round: 9, Dataset: spec.Name, Model: "fashion-cnn", Weights: make([]float64, wantLen), Accuracy: -1}},
+		{"prev-weights", persist.Checkpoint{Round: 0, Dataset: spec.Name, Model: "fashion-cnn", Weights: make([]float64, wantLen), PrevWeights: make([]float64, 3), Accuracy: -1}},
+		{"seed", persist.Checkpoint{Round: 0, Dataset: spec.Name, Model: "fashion-cnn", Seed: 99, MinClients: 1, PerRound: 1, Weights: make([]float64, wantLen), Accuracy: -1}},
+		{"population", persist.Checkpoint{Round: 0, Dataset: spec.Name, Model: "fashion-cnn", Seed: 6, MinClients: 5, PerRound: 1, Weights: make([]float64, wantLen), Accuracy: -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ckpt := filepath.Join(dir, tc.name+".ckpt")
+			cp := tc.cp
+			for i := range cp.Weights {
+				cp.Weights[i] = 0.01
+			}
+			if err := persist.Save(ckpt, &cp); err != nil {
+				t.Fatal(err)
+			}
+			srv, err := NewServer(ServerConfig{
+				MinClients:     1,
+				PerRound:       1,
+				Rounds:         2,
+				RoundTimeout:   time.Second,
+				Seed:           6,
+				CheckpointPath: ckpt,
+				DatasetName:    spec.Name,
+				ModelName:      "fashion-cnn",
+			}, defense.FedAvg{}, newModel, test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lis, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer lis.Close()
+			if _, err := srv.Serve(lis); err == nil {
+				t.Fatal("mismatched checkpoint must fail fast")
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package flnet
 import (
 	"errors"
 	"fmt"
+	"io/fs"
 	"math"
 	"math/rand"
 	"net"
@@ -33,7 +34,9 @@ type ServerConfig struct {
 	// Seed drives client selection and model initialization.
 	Seed int64
 	// CheckpointPath, when non-empty, atomically persists the global model
-	// after every round so a restarted server can resume from disk.
+	// after every round so a restarted server can resume from disk: Serve
+	// loads and validates an existing checkpoint at start and continues
+	// from the round after the one it records.
 	CheckpointPath string
 	// DatasetName and ModelName annotate checkpoints for load-side
 	// validation.
@@ -106,6 +109,30 @@ func NewServer(cfg ServerConfig, agg fl.Aggregator, newModel func(rng *rand.Rand
 // Serve accepts MinClients clients on lis, runs the configured rounds, and
 // returns the result. The listener is not closed; the caller owns it.
 func (s *Server) Serve(lis net.Listener) (*ServerResult, error) {
+	// Resolve the starting state before any client joins, so an
+	// incompatible checkpoint fails fast instead of after the handshakes.
+	global := s.newModel(rand.New(rand.NewSource(s.cfg.Seed)))
+	weights := global.WeightVector()
+	startRound := 0
+	resumeMax, resumeFinal := 0.0, -1.0
+	var resumePrev []float64
+	if cp, err := s.loadCheckpoint(len(weights)); err != nil {
+		return nil, err
+	} else if cp != nil {
+		weights = cp.Weights
+		resumePrev = cp.PrevWeights // w(t-1); empty in pre-field checkpoints
+		startRound = cp.Round + 1
+		// Restore the pre-crash metrics so acc_m covers the whole run even
+		// when its peak predates the restart (older checkpoints lack
+		// MaxAccuracy; the last round's accuracy is the best floor then).
+		for _, v := range []float64{cp.MaxAccuracy, cp.Accuracy} {
+			if !math.IsNaN(v) && v > resumeMax {
+				resumeMax = v
+			}
+		}
+		resumeFinal = cp.Accuracy
+	}
+
 	sessions, err := s.acceptClients(lis)
 	if err != nil {
 		return nil, err
@@ -116,13 +143,25 @@ func (s *Server) Serve(lis net.Listener) (*ServerResult, error) {
 		}
 	}()
 
-	global := s.newModel(rand.New(rand.NewSource(s.cfg.Seed)))
-	weights := global.WeightVector()
+	// The first resumed round must hand clients the same w(t-1) an
+	// uninterrupted run would have; only a fresh start uses prev == w(0).
 	prev := append([]float64(nil), weights...)
+	if len(resumePrev) == len(weights) && startRound > 0 {
+		prev = resumePrev
+	}
 	selRng := rand.New(rand.NewSource(s.cfg.Seed ^ 0x5DEECE66D))
-	res := &ServerResult{FinalAccuracy: math.NaN()}
+	// Replay the selection stream consumed before the checkpoint so a
+	// resumed run selects the same clients per round as an uninterrupted
+	// one with the same seed.
+	for r := 0; r < startRound; r++ {
+		selRng.Perm(len(sessions))
+	}
+	res := &ServerResult{FinalAccuracy: math.NaN(), MaxAccuracy: resumeMax}
+	if resumeFinal >= 0 {
+		res.FinalAccuracy = resumeFinal
+	}
 
-	for round := 0; round < s.cfg.Rounds; round++ {
+	for round := startRound; round < s.cfg.Rounds; round++ {
 		perm := selRng.Perm(len(sessions))[:s.cfg.PerRound]
 		updates := s.collectRound(sessions, perm, round, weights, prev)
 		report := RoundReport{Round: round, Responded: len(updates), Accuracy: math.NaN()}
@@ -151,11 +190,16 @@ func (s *Server) Serve(lis net.Listener) (*ServerResult, error) {
 		res.Rounds = append(res.Rounds, report)
 		if s.cfg.CheckpointPath != "" {
 			cp := &persist.Checkpoint{
-				Round:    round,
-				Dataset:  s.cfg.DatasetName,
-				Model:    s.cfg.ModelName,
-				Weights:  weights,
-				Accuracy: report.Accuracy,
+				Round:       round,
+				Dataset:     s.cfg.DatasetName,
+				Model:       s.cfg.ModelName,
+				Seed:        s.cfg.Seed,
+				MinClients:  s.cfg.MinClients,
+				PerRound:    s.cfg.PerRound,
+				Weights:     weights,
+				PrevWeights: prev,
+				Accuracy:    report.Accuracy,
+				MaxAccuracy: res.MaxAccuracy,
 			}
 			if err := persist.Save(s.cfg.CheckpointPath, cp); err != nil {
 				return nil, fmt.Errorf("flnet: round %d checkpoint: %w", round, err)
@@ -170,6 +214,53 @@ func (s *Server) Serve(lis net.Listener) (*ServerResult, error) {
 	}
 	res.FinalWeights = weights
 	return res, nil
+}
+
+// loadCheckpoint restores the latest checkpoint from CheckpointPath, if one
+// exists, validating that it belongs to this server's task and architecture
+// before handing its weights to the round loop. A missing file means a
+// fresh start; a present-but-incompatible one is an error, because silently
+// training from mismatched weights would corrupt the federation.
+func (s *Server) loadCheckpoint(wantLen int) (*persist.Checkpoint, error) {
+	if s.cfg.CheckpointPath == "" {
+		return nil, nil
+	}
+	cp, err := persist.LoadFile(s.cfg.CheckpointPath)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("flnet: resume: %w", err)
+	}
+	if s.cfg.DatasetName != "" && cp.Dataset != "" && cp.Dataset != s.cfg.DatasetName {
+		return nil, fmt.Errorf("flnet: resume: checkpoint dataset %q, server dataset %q", cp.Dataset, s.cfg.DatasetName)
+	}
+	if s.cfg.ModelName != "" && cp.Model != "" && cp.Model != s.cfg.ModelName {
+		return nil, fmt.Errorf("flnet: resume: checkpoint model %q, server model %q", cp.Model, s.cfg.ModelName)
+	}
+	if len(cp.Weights) != wantLen {
+		return nil, fmt.Errorf("flnet: resume: checkpoint has %d weights, model has %d", len(cp.Weights), wantLen)
+	}
+	if len(cp.PrevWeights) != 0 && len(cp.PrevWeights) != wantLen {
+		return nil, fmt.Errorf("flnet: resume: checkpoint has %d prev weights, model has %d", len(cp.PrevWeights), wantLen)
+	}
+	// MinClients > 0 marks a checkpoint that records the federation shape;
+	// a different seed or population would make the selection-stream
+	// replay produce a silent hybrid of two runs.
+	if cp.MinClients > 0 {
+		switch {
+		case cp.Seed != s.cfg.Seed:
+			return nil, fmt.Errorf("flnet: resume: checkpoint seed %d, server seed %d", cp.Seed, s.cfg.Seed)
+		case cp.MinClients != s.cfg.MinClients:
+			return nil, fmt.Errorf("flnet: resume: checkpoint population %d, server %d", cp.MinClients, s.cfg.MinClients)
+		case cp.PerRound != s.cfg.PerRound:
+			return nil, fmt.Errorf("flnet: resume: checkpoint selects %d per round, server %d", cp.PerRound, s.cfg.PerRound)
+		}
+	}
+	if cp.Round < 0 || cp.Round >= s.cfg.Rounds {
+		return nil, fmt.Errorf("flnet: resume: checkpoint round %d outside 0..%d", cp.Round, s.cfg.Rounds-1)
+	}
+	return cp, nil
 }
 
 // acceptClients performs the join handshake for MinClients connections.

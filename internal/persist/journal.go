@@ -1,0 +1,201 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Journal is an append-only JSONL outcome store: one JSON object per line,
+// each carrying a caller-chosen key and an opaque payload. It is the
+// durability layer of the resumable experiment grid — a sweep appends every
+// completed cell, and a restarted sweep replays the journal to skip work it
+// already paid for. The format is deliberately crash-tolerant: a process
+// killed mid-append leaves at most one truncated final line, which Open
+// discards, so the journal never needs repair.
+type Journal struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	entries map[string]json.RawMessage
+	// off is the write offset after the last intact line; a failed append
+	// truncates back to it so partial bytes never precede later entries
+	// (mid-file corruption, unlike a torn tail, is unrecoverable).
+	off int64
+	// unlock releases the single-owner lock taken at open.
+	unlock func()
+}
+
+// journalLine is the on-disk shape of one entry.
+type journalLine struct {
+	Key     string          `json:"key"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// OpenJournal opens (creating if needed) the journal at path and replays
+// its existing entries. Later lines win on duplicate keys. A truncated or
+// corrupt final line — the signature of a crash mid-append — is dropped;
+// corruption anywhere earlier is reported as an error.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: open journal: %w", err)
+	}
+	// Two writers interleaving lines at overlapping offsets would corrupt
+	// the store mid-file (unrecoverable, unlike a torn tail), so the
+	// journal is single-owner: the lock is held until Close.
+	unlock, err := lockJournal(path, f)
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("persist: journal %s is in use by another process: %w", path, err)
+	}
+	j := &Journal{path: path, f: f, entries: make(map[string]json.RawMessage), unlock: unlock}
+	if err := j.replay(); err != nil {
+		unlock()
+		_ = f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// replay loads the journal into memory and positions the write offset after
+// the last intact line.
+func (j *Journal) replay() error {
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("persist: journal seek: %w", err)
+	}
+	sc := bufio.NewScanner(j.f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20) // outcomes carry timelines; lines can be large
+	var goodBytes int64
+	var pendingErr error
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if pendingErr != nil {
+			// A corrupt line followed by more data is real damage, not a
+			// torn final append.
+			return pendingErr
+		}
+		if len(raw) == 0 {
+			goodBytes += 1 // bare newline
+			continue
+		}
+		var line journalLine
+		if err := json.Unmarshal(raw, &line); err != nil || line.Key == "" {
+			pendingErr = fmt.Errorf("persist: journal %s line %d corrupt", j.path, lineNo)
+			continue
+		}
+		j.entries[line.Key] = line.Payload
+		goodBytes += int64(len(raw)) + 1
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("persist: journal read: %w", err)
+	}
+	// pendingErr here means the damage was the final line: a crash mid-append.
+	// Truncate it away so subsequent appends start on a clean boundary.
+	if pendingErr != nil {
+		if err := j.f.Truncate(goodBytes); err != nil {
+			return fmt.Errorf("persist: journal truncate: %w", err)
+		}
+	}
+	// A tear that ate exactly the trailing newline leaves a valid final line
+	// shorter than our newline-inclusive count: terminate it in place.
+	if st, err := j.f.Stat(); err == nil && goodBytes > st.Size() {
+		if _, err := j.f.WriteAt([]byte{'\n'}, st.Size()); err != nil {
+			return fmt.Errorf("persist: journal terminate: %w", err)
+		}
+	}
+	if _, err := j.f.Seek(goodBytes, io.SeekStart); err != nil {
+		return fmt.Errorf("persist: journal seek: %w", err)
+	}
+	j.off = goodBytes
+	return nil
+}
+
+// Append durably records payload under key: the line is written and synced
+// before Append returns, and the in-memory view is updated.
+func (j *Journal) Append(key string, payload any) error {
+	if key == "" {
+		return errors.New("persist: journal key must not be empty")
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("persist: journal payload: %w", err)
+	}
+	line, err := json.Marshal(journalLine{Key: key, Payload: raw})
+	if err != nil {
+		return fmt.Errorf("persist: journal line: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("persist: journal closed")
+	}
+	if _, err := j.f.Write(line); err != nil {
+		// Roll back any partial bytes: a later successful append must land
+		// on a clean line boundary, or replay would see unrecoverable
+		// mid-file corruption instead of a torn (recoverable) tail.
+		_ = j.f.Truncate(j.off)
+		_, _ = j.f.Seek(j.off, io.SeekStart)
+		return fmt.Errorf("persist: journal write: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		_ = j.f.Truncate(j.off)
+		_, _ = j.f.Seek(j.off, io.SeekStart)
+		return fmt.Errorf("persist: journal sync: %w", err)
+	}
+	j.off += int64(len(line))
+	j.entries[key] = raw
+	return nil
+}
+
+// Lookup returns the most recent payload recorded under key.
+func (j *Journal) Lookup(key string, payload any) (bool, error) {
+	j.mu.Lock()
+	raw, ok := j.entries[key]
+	j.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, payload); err != nil {
+		return false, fmt.Errorf("persist: journal decode %q: %w", key, err)
+	}
+	return true, nil
+}
+
+// Len reports the number of distinct keys in the journal.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Keys returns the distinct keys currently journaled, in no particular order.
+func (j *Journal) Keys() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	keys := make([]string, 0, len(j.entries))
+	for k := range j.entries {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Close releases the lock and the underlying file. Further Appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	j.unlock()
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

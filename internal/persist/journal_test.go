@@ -1,0 +1,193 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+type payload struct {
+	Attack string   `json:"attack"`
+	Acc    *float64 `json:"acc"`
+}
+
+func TestJournalAppendLookupReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := 0.63
+	if err := j.Append("a", payload{Attack: "lie", Acc: &acc}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("b", payload{Attack: "fang"}); err != nil {
+		t.Fatal(err)
+	}
+	// Later writes win on duplicate keys.
+	if err := j.Append("a", payload{Attack: "minmax", Acc: &acc}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 2 {
+		t.Fatalf("journal has %d keys, want 2", j.Len())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("c", payload{}); err == nil {
+		t.Fatal("append after close must fail")
+	}
+
+	re, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 2 {
+		t.Fatalf("reopened journal has %d keys, want 2", re.Len())
+	}
+	var p payload
+	ok, err := re.Lookup("a", &p)
+	if err != nil || !ok {
+		t.Fatalf("lookup a: ok=%v err=%v", ok, err)
+	}
+	if p.Attack != "minmax" || p.Acc == nil || *p.Acc != acc {
+		t.Fatalf("last write should win: %+v", p)
+	}
+	if ok, _ := re.Lookup("zzz", &p); ok {
+		t.Fatal("missing key should not resolve")
+	}
+	if got := re.Keys(); len(got) != 2 {
+		t.Fatalf("Keys() returned %v", got)
+	}
+}
+
+// TestJournalTornFinalLine: a crash mid-append leaves a truncated last
+// line; reopening must drop it and keep every intact entry.
+func TestJournalTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("a", payload{Attack: "lie"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("b", payload{Attack: "fang"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Simulate the torn write: append half a line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"c","payl`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("torn final line must be tolerated: %v", err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("recovered %d entries, want 2", re.Len())
+	}
+	// The journal must stay appendable on a clean line boundary.
+	if err := re.Append("c", payload{Attack: "minsum"}); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+
+	re2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if re2.Len() != 3 {
+		t.Fatalf("post-recovery journal has %d entries, want 3", re2.Len())
+	}
+	var p payload
+	if ok, _ := re2.Lookup("c", &p); !ok || p.Attack != "minsum" {
+		t.Fatalf("entry appended after recovery lost: %+v", p)
+	}
+}
+
+// TestJournalCorruptMiddleLine: damage that is not a torn tail is real
+// corruption and must surface as an error, not silent data loss.
+func TestJournalCorruptMiddleLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := os.WriteFile(path, []byte("not json\n{\"key\":\"a\",\"payload\":{}}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path); err == nil {
+		t.Fatal("corrupt middle line must be an error")
+	}
+}
+
+// TestJournalExclusiveLock: the journal is single-owner; a second opener
+// in the same process family must be rejected while the first holds it.
+func TestJournalExclusiveLock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path); err == nil {
+		t.Fatal("second concurrent opener must be rejected")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen after close must succeed: %v", err)
+	}
+	re.Close()
+}
+
+func TestJournalEmptyKeyRejected(t *testing.T) {
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "run.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append("", payload{}); err == nil {
+		t.Fatal("empty key must be rejected")
+	}
+}
+
+// TestJournalConcurrentAppend: grid workers append concurrently; every
+// entry must survive.
+func TestJournalConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := string(rune('a' + i))
+			if err := j.Append(key, payload{Attack: key}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	j.Close()
+
+	re, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 16 {
+		t.Fatalf("concurrent journal has %d entries, want 16", re.Len())
+	}
+}

@@ -1,0 +1,23 @@
+//go:build !unix
+
+package persist
+
+import (
+	"fmt"
+	"os"
+)
+
+// lockJournal guards the journal with an exclusive sidecar lock file on
+// platforms without flock semantics. Unlike flock, the sidecar survives a
+// crash: a stale lock makes the next open fail loudly (naming the file to
+// delete) rather than risk two writers silently corrupting the store.
+func lockJournal(path string, _ *os.File) (func(), error) {
+	lockPath := path + ".lock"
+	f, err := os.OpenFile(lockPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lock file %s exists (delete it if its owner crashed): %w", lockPath, err)
+	}
+	fmt.Fprintf(f, "%d\n", os.Getpid())
+	_ = f.Close()
+	return func() { _ = os.Remove(lockPath) }, nil
+}

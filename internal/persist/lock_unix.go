@@ -1,0 +1,20 @@
+//go:build unix
+
+package persist
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockJournal takes a non-blocking exclusive advisory flock on f, failing
+// immediately when another process holds it. The kernel releases the lock
+// when the descriptor closes — including on crash, so a dead owner never
+// wedges the journal. The returned release is a no-op: closing f is the
+// release.
+func lockJournal(_ string, f *os.File) (func(), error) {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return nil, err
+	}
+	return func() {}, nil
+}

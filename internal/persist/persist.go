@@ -26,11 +26,30 @@ type Checkpoint struct {
 	// belong to; Load-side validation prevents cross-architecture loads.
 	Dataset string
 	Model   string
+	// Seed, MinClients and PerRound record the federation shape that
+	// produced the weights: resuming under a different seed or population
+	// would silently replay the wrong client-selection stream, so the
+	// server validates them. All zero in checkpoints written before the
+	// fields existed (MinClients is positive in any valid run).
+	Seed       int64
+	MinClients int
+	PerRound   int
 	// Weights is the flat global weight vector.
 	Weights []float64
+	// PrevWeights is the previous round's global weight vector w(t-1),
+	// which the wire protocol hands to clients so data-free attackers can
+	// estimate the benign update direction. Persisting it lets a resumed
+	// round send the same PrevWeights an uninterrupted run would have.
+	// Empty in checkpoints written before the field existed.
+	PrevWeights []float64
 	// Accuracy is the evaluation accuracy at checkpoint time (NaN-free;
 	// use a negative value when unknown).
 	Accuracy float64
+	// MaxAccuracy is the best accuracy observed over the whole run up to
+	// this checkpoint, so a resumed run reports the true acc_m even when
+	// the peak predates the crash. Zero in checkpoints written before the
+	// field existed; use a negative value when unknown.
+	MaxAccuracy float64
 }
 
 // header precedes the gob payload.

@@ -1,0 +1,58 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+// Progress returns a grid progress callback that streams one line per
+// completed cell to w: cells-done/total, the cell's identity, whether it
+// was replayed from the run store or failed, and the estimated time
+// remaining. The runner serializes event delivery, so the callback needs
+// no locking.
+func Progress(w io.Writer) func(experiment.ProgressEvent) {
+	return func(ev experiment.ProgressEvent) {
+		cell := cellLabel(ev.Config)
+		status := ""
+		switch {
+		case ev.Err != nil:
+			status = fmt.Sprintf(" FAILED: %v", ev.Err)
+		case ev.Skipped:
+			status = " (resumed from store)"
+		}
+		eta := ""
+		if ev.ETA > 0 {
+			eta = fmt.Sprintf(" eta %s", ev.ETA.Round(time.Second))
+		}
+		fmt.Fprintf(w, "[%d/%d] %s%s elapsed %s%s\n",
+			ev.Done, ev.Total, cell, status, ev.Elapsed.Round(time.Millisecond), eta)
+	}
+}
+
+// cellLabel identifies a grid cell for humans. Beyond the headline
+// dataset/attack/defense/beta, it appends whichever parameters
+// distinguish cells in the paper's single-axis sweeps (attacker fraction,
+// |S|, regularization, perturbation, seed), so lines stay unique in grids
+// like samplesize or fig6 where the headline fields are constant.
+func cellLabel(c experiment.Config) string {
+	label := fmt.Sprintf("%s/%s/%s beta=%g", c.Dataset, c.Attack, c.Defense, c.Beta)
+	if c.AttackerFrac > 0 {
+		label += fmt.Sprintf(" frac=%g", c.AttackerFrac)
+	}
+	if c.SampleCount > 0 {
+		label += fmt.Sprintf(" |S|=%d", c.SampleCount)
+	}
+	if c.NoReg {
+		label += " noreg"
+	}
+	if c.PerturbStd > 0 {
+		label += fmt.Sprintf(" perturb=%g", c.PerturbStd)
+	}
+	if c.Seed != 1 {
+		label += fmt.Sprintf(" seed=%d", c.Seed)
+	}
+	return label
+}

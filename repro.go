@@ -29,6 +29,7 @@ import (
 	"io"
 
 	"repro/internal/experiment"
+	"repro/internal/report"
 )
 
 // Config is a single-simulation configuration; see the field documentation
@@ -43,6 +44,24 @@ type Outcome = experiment.Outcome
 // paper-faithful "full" setting.
 type Profile = experiment.Profile
 
+// ProgressEvent reports the completion of one grid cell during a sweep.
+type ProgressEvent = experiment.ProgressEvent
+
+// RunOptions configures RunExperimentOpts beyond the profile: a durable
+// run store for crash-resumable sweeps and a streaming progress callback.
+type RunOptions struct {
+	// Profile names the scaling profile ("quick" or "full"; "" = quick).
+	Profile string
+	// StorePath, when non-empty, journals every completed grid cell (and
+	// clean baseline) to an append-only JSONL store at this path.
+	StorePath string
+	// Resume replays cells already present in the store instead of
+	// recomputing them; requires StorePath.
+	Resume bool
+	// Progress, when non-nil, receives one event per completed cell.
+	Progress func(ProgressEvent)
+}
+
 // NewRunner returns a fresh experiment runner with an empty clean-baseline
 // cache.
 func NewRunner() *experiment.Runner { return experiment.NewRunner() }
@@ -51,6 +70,37 @@ func NewRunner() *experiment.Runner { return experiment.NewRunner() }
 // attack success rate.
 func RunConfig(cfg Config) (*Outcome, error) {
 	return experiment.NewRunner().Run(cfg)
+}
+
+// RunConfigOpts executes a single simulation with run-store support: with
+// a StorePath the completed run (and its clean baseline) is journaled, and
+// with Resume a journaled run is replayed instead of recomputed.
+func RunConfigOpts(cfg Config, opts RunOptions) (*Outcome, error) {
+	if opts.Resume && opts.StorePath == "" {
+		return nil, fmt.Errorf("repro: Resume requires StorePath")
+	}
+	runner := experiment.NewRunner()
+	runner.Progress = opts.Progress
+	if opts.StorePath != "" {
+		store, err := experiment.OpenStore(opts.StorePath)
+		if err != nil {
+			return nil, err
+		}
+		defer store.Close()
+		runner.Store = store
+		runner.Resume = opts.Resume
+	}
+	outs, err := runner.RunGrid([]Config{cfg}, 1)
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// ProgressWriter returns a RunOptions.Progress callback that streams one
+// human-readable line per completed cell to w.
+func ProgressWriter(w io.Writer) func(ProgressEvent) {
+	return report.Progress(w)
 }
 
 // Experiments lists the IDs of all reproducible paper artifacts in paper
@@ -67,16 +117,38 @@ func Experiments() []string {
 // RunExperiment regenerates the named table or figure under the given
 // profile ("quick" or "full"), writing the paper-style rows to w.
 func RunExperiment(id, profileName string, w io.Writer) error {
+	return RunExperimentOpts(id, RunOptions{Profile: profileName}, w)
+}
+
+// RunExperimentOpts regenerates the named table or figure with full control
+// over profile, run store and progress reporting, writing the paper-style
+// rows to w. With a StorePath, completed cells are journaled as they
+// finish; with Resume, a re-run against the same store executes only the
+// cells the previous (possibly killed) run did not complete.
+func RunExperimentOpts(id string, opts RunOptions, w io.Writer) error {
 	exp, ok := experiment.ByID(id)
 	if !ok {
 		return fmt.Errorf("repro: unknown experiment %q (known: %v)", id, Experiments())
 	}
-	profile, ok := experiment.ProfileByName(profileName)
+	profile, ok := experiment.ProfileByName(opts.Profile)
 	if !ok {
-		return fmt.Errorf("repro: unknown profile %q (known: quick, full)", profileName)
+		return fmt.Errorf("repro: unknown profile %q (known: quick, full)", opts.Profile)
+	}
+	if opts.Resume && opts.StorePath == "" {
+		return fmt.Errorf("repro: Resume requires StorePath")
 	}
 	runner := experiment.NewRunner()
 	runner.AverageSeeds = profile.SeedCount
+	runner.Progress = opts.Progress
+	if opts.StorePath != "" {
+		store, err := experiment.OpenStore(opts.StorePath)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		runner.Store = store
+		runner.Resume = opts.Resume
+	}
 	if _, err := fmt.Fprintf(w, "# %s [profile=%s]\n", exp.Title, profile.Name); err != nil {
 		return err
 	}
