@@ -36,6 +36,7 @@ func run(args []string) error {
 	storePath := fs.String("store", "", "JSONL run-store path; completed cells are journaled for resume (empty = off)")
 	resume := fs.Bool("resume", false, "replay cells already present in -store instead of recomputing them")
 	progress := fs.Bool("progress", false, "stream per-cell completion lines with ETA to stderr")
+	threads := fs.Int("threads", 0, "kernel worker-pool size for training/defense compute (0 = GOMAXPROCS); never changes results")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,6 +54,7 @@ func run(args []string) error {
 		Profile:   *profile,
 		StorePath: *storePath,
 		Resume:    *resume,
+		Threads:   *threads,
 	}
 	if *progress {
 		opts.Progress = repro.ProgressWriter(os.Stderr)

@@ -43,6 +43,7 @@ func run(args []string) error {
 	fs.BoolVar(&cfg.NoReg, "no-reg", false, "disable the distance-based regularization L_d")
 	storePath := fs.String("store", "", "JSONL run-store path; the completed run is journaled for resume (empty = off)")
 	resume := fs.Bool("resume", false, "replay the run from -store if already journaled instead of recomputing it")
+	threads := fs.Int("threads", 0, "kernel worker-pool size for training/defense compute (0 = GOMAXPROCS); never changes results")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,7 +52,7 @@ func run(args []string) error {
 	}
 
 	start := time.Now()
-	out, err := runConfig(cfg, *storePath, *resume)
+	out, err := runConfig(cfg, *storePath, *resume, *threads)
 	if err != nil {
 		return err
 	}
@@ -74,10 +75,8 @@ func run(args []string) error {
 }
 
 // runConfig executes the single configuration, optionally journaling it to
-// (and resuming it from) a durable run store.
-func runConfig(cfg repro.Config, storePath string, resume bool) (*repro.Outcome, error) {
-	if storePath == "" {
-		return repro.RunConfig(cfg)
-	}
-	return repro.RunConfigOpts(cfg, repro.RunOptions{StorePath: storePath, Resume: resume})
+// (and resuming it from) a durable run store, with the kernel worker pool
+// pinned to threads when positive.
+func runConfig(cfg repro.Config, storePath string, resume bool, threads int) (*repro.Outcome, error) {
+	return repro.RunConfigOpts(cfg, repro.RunOptions{StorePath: storePath, Resume: resume, Threads: threads})
 }

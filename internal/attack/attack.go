@@ -317,11 +317,12 @@ func (a MinSum) Craft(ctx *fl.AttackContext) ([][]float64, error) {
 	}
 	mean := vec.Mean(benign)
 	p := perturbation(a.Kind, benign, mean)
+	// The bound is the worst row sum of the shared pairwise-distance matrix.
 	bound := 0.0
-	for _, bi := range benign {
+	for _, row := range vec.SqDistMatrix(benign) {
 		sum := 0.0
-		for _, bj := range benign {
-			sum += vec.SqDist(bi, bj)
+		for _, d := range row {
+			sum += d
 		}
 		if sum > bound {
 			bound = sum

@@ -57,15 +57,11 @@ func (a *AdaptiveREFD) Aggregate(global []float64, updates []fl.Update) ([]float
 	if len(updates) == 0 {
 		return nil, nil, errRefdNoUpdates
 	}
-	// First pass: collect both signals for every update.
-	bs := make([]float64, len(updates))
-	vs := make([]float64, len(updates))
-	for i, u := range updates {
-		b, v, _, err := a.inner.DScore(u.Weights)
-		if err != nil {
-			return nil, nil, err
-		}
-		bs[i], vs[i] = b, v
+	// First pass: collect both signals for every update, through the same
+	// parallel scoring path REFD aggregates with.
+	bs, vs, err := a.inner.signalsAll(updates)
+	if err != nil {
+		return nil, nil, err
 	}
 	// Adapt α from the relative dispersion (coefficient of variation) of
 	// the two signals across this round's updates.
@@ -86,14 +82,9 @@ func (a *AdaptiveREFD) Aggregate(global []float64, updates []fl.Update) ([]float
 
 	// Second pass: score with the adapted α and reject the X lowest,
 	// mirroring REFD.Aggregate.
-	a2 := alpha * alpha
 	scores := make([]float64, len(updates))
 	for i := range updates {
-		if bs[i] == 0 && vs[i] == 0 {
-			scores[i] = 0
-			continue
-		}
-		scores[i] = (1 + a2) * bs[i] * vs[i] / (a2*bs[i] + vs[i])
+		scores[i] = combineD(bs[i], vs[i], alpha)
 	}
 	order := make([]int, len(updates))
 	for i := range order {

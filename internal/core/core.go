@@ -95,6 +95,7 @@ func (c *DFAConfig) Validate() error {
 // loss, and return its weight vector.
 func trainAdversary(ctx *fl.AttackContext, cfg DFAConfig, images *tensor.Tensor, labels []int) ([]float64, error) {
 	model := ctx.NewModel(ctx.Rng)
+	model.SetScratch(tensor.NewPool())
 	if err := model.SetWeightVector(ctx.Global); err != nil {
 		return nil, err
 	}
@@ -112,6 +113,7 @@ func trainAdversary(ctx *fl.AttackContext, cfg DFAConfig, images *tensor.Tensor,
 				end = n
 			}
 			xb, yb := gatherBatch(images, labels, order[start:end])
+			model.ResetScratch()
 			logits := model.Forward(xb, true)
 			_, grad := nn.CrossEntropy(logits, yb)
 			model.Backward(grad)

@@ -66,6 +66,7 @@ func (a *DFAG) ensureState(ctx *fl.AttackContext) {
 		return
 	}
 	a.gen = nn.NewGenerator(ctx.Rng, a.cfg.ImgC, a.cfg.ImgSize)
+	a.gen.SetScratch(tensor.NewPool())
 	a.genOpt = nn.NewSGD(a.cfg.SynthesisLR, 0.9)
 	c, h, w := nn.GeneratorLatentSize(a.cfg.ImgSize)
 	a.latent = tensor.New(a.cfg.SampleCount, c, h, w)
@@ -86,9 +87,14 @@ func (a *DFAG) Craft(ctx *fl.AttackContext) ([][]float64, error) {
 		labels[i] = a.targetClass
 	}
 
+	// The frozen model shares the generator's arena: both run in this
+	// goroutine and their activations die together at each epoch reset.
+	frozen.SetScratch(a.gen.Scratch())
+
 	if cfg.Trained {
 		epochLoss := make([]float64, cfg.SynthesisEpochs)
 		for e := 0; e < cfg.SynthesisEpochs; e++ {
+			a.gen.ResetScratch()
 			s := a.gen.Forward(a.latent, true)
 			logits := frozen.Forward(s, true)
 			loss, grad := nn.CrossEntropy(logits, labels)
@@ -104,6 +110,7 @@ func (a *DFAG) Craft(ctx *fl.AttackContext) ([][]float64, error) {
 		a.lossTrace = append(a.lossTrace, epochLoss)
 	}
 
+	a.gen.ResetScratch()
 	images := a.gen.Forward(a.latent, false)
 	w, err := trainAdversary(ctx, cfg, images, labels)
 	if err != nil {

@@ -58,6 +58,10 @@ func (a *DFAR) Craft(ctx *fl.AttackContext) ([][]float64, error) {
 	per := cfg.ImgC * cfg.ImgSize * cfg.ImgSize
 	uniform := nn.UniformTarget(cfg.Classes)
 	epochLoss := make([]float64, cfg.SynthesisEpochs)
+	// One arena serves the filter network and the frozen model across all
+	// samples; it is recycled at every optimization step.
+	pool := tensor.NewPool()
+	frozen.SetScratch(pool)
 
 	for s := 0; s < cfg.SampleCount; s++ {
 		// Static random dummy image A; the filter layer is the only
@@ -67,10 +71,12 @@ func (a *DFAR) Craft(ctx *fl.AttackContext) ([][]float64, error) {
 		dummy.FillUniform(ctx.Rng, -1, 1)
 		filter := nn.NewConv2D(ctx.Rng, cfg.ImgC, cfg.ImgC, 3, 1, 1)
 		fnet := nn.NewNetwork(filter)
+		fnet.SetScratch(pool)
 		opt := nn.NewSGD(cfg.SynthesisLR, 0.9)
 
 		if cfg.Trained {
 			for e := 0; e < cfg.SynthesisEpochs; e++ {
+				pool.Reset()
 				b := fnet.Forward(dummy, true)
 				logits := frozen.Forward(b, true)
 				loss, grad := nn.CrossEntropySoft(logits, uniform)
@@ -81,6 +87,7 @@ func (a *DFAR) Craft(ctx *fl.AttackContext) ([][]float64, error) {
 				epochLoss[e] += loss
 			}
 		}
+		pool.Reset()
 		b := fnet.Forward(dummy, false)
 		copy(images.Data[s*per:(s+1)*per], b.Data)
 	}

@@ -4,13 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/fl"
 	"repro/internal/nn"
+	"repro/internal/tensor"
 	"repro/internal/vec"
 )
 
@@ -33,6 +33,9 @@ type REFD struct {
 	alpha    float64
 	rejectX  int
 	scratch  *nn.Network
+	// helpers are the persistent parallel scorers of signalsAll, each with
+	// its own scratch model and arena reused across rounds.
+	helpers []*REFD
 }
 
 var _ fl.Aggregator = (*REFD)(nil)
@@ -60,11 +63,22 @@ func (*REFD) Name() string { return "refd" }
 // DScore computes the balance value, confidence value and combined D-score
 // of a model given its weight vector, by inference over the reference set.
 func (r *REFD) DScore(weights []float64) (b, v, d float64, err error) {
+	b, v, err = r.signals(weights)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return b, v, combineD(b, v, r.alpha), nil
+}
+
+// signals runs reference-set inference for one weight vector and returns
+// the balance value B (Eq. 6) and confidence value V (Eq. 7).
+func (r *REFD) signals(weights []float64) (b, v float64, err error) {
 	if r.scratch == nil {
 		r.scratch = r.newModel(rand.New(rand.NewSource(1)))
+		r.scratch.SetScratch(tensor.NewPool())
 	}
 	if err := r.scratch.SetWeightVector(weights); err != nil {
-		return 0, 0, 0, err
+		return 0, 0, err
 	}
 	counts := make([]float64, r.ref.Classes)
 	confSum := 0.0
@@ -80,6 +94,7 @@ func (r *REFD) DScore(weights []float64) (b, v, d float64, err error) {
 			idx[i] = start + i
 		}
 		x, _ := r.ref.Batch(idx)
+		r.scratch.ResetScratch()
 		probs := nn.Softmax(r.scratch.Forward(x, false))
 		classes := probs.Shape[1]
 		for bi := 0; bi < probs.Shape[0]; bi++ {
@@ -105,13 +120,66 @@ func (r *REFD) DScore(weights []float64) (b, v, d float64, err error) {
 	}
 	// Confidence value (Eq. 7).
 	v = confSum / float64(n)
-	// D-score (Eq. 8).
-	a2 := r.alpha * r.alpha
+	return b, v, nil
+}
+
+// combineD folds the two signals into the D-score (Eq. 8).
+func combineD(b, v, alpha float64) float64 {
 	if b == 0 && v == 0 {
-		return b, v, 0, nil
+		return 0
 	}
-	d = (1 + a2) * b * v / (a2*b + v)
-	return b, v, d, nil
+	a2 := alpha * alpha
+	return (1 + a2) * b * v / (a2*b + v)
+}
+
+// signalsAll computes the (B, V) signals of every update, spreading the
+// reference-set inference over the kernel worker pool: each worker scores
+// with its own scratch model and arena, so no layer state is shared. Both
+// REFD and AdaptiveREFD aggregate through this one scoring path.
+func (r *REFD) signalsAll(updates []fl.Update) (bs, vs []float64, err error) {
+	bs = make([]float64, len(updates))
+	vs = make([]float64, len(updates))
+	workers := tensor.Workers()
+	if workers > len(updates) {
+		workers = len(updates)
+	}
+	if workers <= 1 {
+		for i, u := range updates {
+			bs[i], vs[i], err = r.signals(u.Weights)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		return bs, vs, nil
+	}
+	// Workers drain a shared counter within the global slot budget, keeping
+	// the total compute goroutines within the -threads pin. Helper scorers
+	// (with their scratch models and arenas) persist on the receiver, so
+	// repeated rounds reuse them like the simulation's training workers.
+	for len(r.helpers) < workers-1 {
+		r.helpers = append(r.helpers, &REFD{ref: r.ref, newModel: r.newModel, alpha: r.alpha, rejectX: r.rejectX})
+	}
+	errs := make([]error, len(updates))
+	var next atomic.Int64
+	tensor.FanOut(workers, func(w int) {
+		worker := r
+		if w > 0 {
+			worker = r.helpers[w-1]
+		}
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(updates) {
+				return
+			}
+			bs[i], vs[i], errs[i] = worker.signals(updates[i].Weights)
+		}
+	})
+	for _, werr := range errs {
+		if werr != nil {
+			return nil, nil, werr
+		}
+	}
+	return bs, vs, nil
 }
 
 // errRefdNoUpdates is shared by REFD and AdaptiveREFD.
@@ -151,48 +219,16 @@ func (r *REFD) Aggregate(_ []float64, updates []fl.Update) ([]float64, []int, er
 	return vec.WeightedMean(vs, weights), selected, nil
 }
 
-// scoreAll computes the D-score of every update, spreading the reference-set
-// inference over the available CPUs (each worker evaluates with its own
-// scratch model, so no layer state is shared).
+// scoreAll computes the D-score of every update via the shared parallel
+// scoring path.
 func (r *REFD) scoreAll(updates []fl.Update) ([]float64, error) {
+	bs, vs, err := r.signalsAll(updates)
+	if err != nil {
+		return nil, err
+	}
 	scores := make([]float64, len(updates))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(updates) {
-		workers = len(updates)
-	}
-	if workers <= 1 {
-		for i, u := range updates {
-			_, _, d, err := r.DScore(u.Weights)
-			if err != nil {
-				return nil, err
-			}
-			scores[i] = d
-		}
-		return scores, nil
-	}
-	errs := make([]error, len(updates))
-	work := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			worker := &REFD{ref: r.ref, newModel: r.newModel, alpha: r.alpha, rejectX: r.rejectX}
-			for i := range work {
-				_, _, d, err := worker.DScore(updates[i].Weights)
-				scores[i], errs[i] = d, err
-			}
-		}()
-	}
-	for i := range updates {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	for i := range scores {
+		scores[i] = combineD(bs[i], vs[i], r.alpha)
 	}
 	return scores, nil
 }

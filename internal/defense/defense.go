@@ -102,9 +102,22 @@ func (t TrimmedMean) Aggregate(_ []float64, updates []fl.Update) ([]float64, []i
 
 // krumScores returns, for every update, the sum of squared distances to its
 // n−f−2 nearest neighbours (Blanchard et al.). The neighbour count is
-// clamped to [1, n−1] so small rounds still produce a usable score.
+// clamped to [1, n−1] so small rounds still produce a usable score. The
+// pairwise matrix is computed once via the shared distance-matrix service.
 func krumScores(vs [][]float64, f int) []float64 {
 	n := len(vs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return krumScoresFrom(vec.SqDistMatrix(vs), idx, f)
+}
+
+// krumScoresFrom scores the subset of updates given by idx against each
+// other using a precomputed pairwise squared-distance matrix, so iterative
+// selections (Bulyan) re-score without recomputing any distance.
+func krumScoresFrom(dist [][]float64, idx []int, f int) []float64 {
+	n := len(idx)
 	neighbours := n - f - 2
 	if neighbours < 1 {
 		neighbours = 1
@@ -112,25 +125,14 @@ func krumScores(vs [][]float64, f int) []float64 {
 	if neighbours > n-1 {
 		neighbours = n - 1
 	}
-	// Pairwise squared distances.
-	dist := make([][]float64, n)
-	for i := range dist {
-		dist[i] = make([]float64, n)
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			d := vec.SqDist(vs[i], vs[j])
-			dist[i][j] = d
-			dist[j][i] = d
-		}
-	}
 	scores := make([]float64, n)
 	row := make([]float64, 0, n-1)
 	for i := 0; i < n; i++ {
 		row = row[:0]
+		di := dist[idx[i]]
 		for j := 0; j < n; j++ {
 			if j != i {
-				row = append(row, dist[i][j])
+				row = append(row, di[idx[j]])
 			}
 		}
 		sort.Float64s(row)
@@ -217,18 +219,17 @@ func (b Bulyan) Aggregate(_ []float64, updates []fl.Update) ([]float64, []int, e
 	}
 	vs := updateVectors(updates)
 
-	// Stage 1: iterative Krum selection of theta updates.
+	// Stage 1: iterative Krum selection of theta updates. The O(n²·d)
+	// pairwise distances are computed once; each iteration re-scores the
+	// shrinking remainder from the shared matrix.
+	dist := vec.SqDistMatrix(vs)
 	remaining := make([]int, n)
 	for i := range remaining {
 		remaining[i] = i
 	}
 	var selected []int
 	for len(selected) < theta {
-		sub := make([][]float64, len(remaining))
-		for i, idx := range remaining {
-			sub[i] = vs[idx]
-		}
-		scores := krumScores(sub, b.F)
+		scores := krumScoresFrom(dist, remaining, b.F)
 		best := 0
 		for i, s := range scores {
 			if s < scores[best] {
@@ -240,7 +241,7 @@ func (b Bulyan) Aggregate(_ []float64, updates []fl.Update) ([]float64, []int, e
 	}
 
 	// Stage 2: coordinate-wise trimmed average around the median of the
-	// selected updates.
+	// selected updates. The column buffers are reused across coordinates.
 	beta := theta - 2*b.F
 	if beta < 1 {
 		beta = 1
@@ -249,20 +250,31 @@ func (b Bulyan) Aggregate(_ []float64, updates []fl.Update) ([]float64, []int, e
 	out := make([]float64, dim)
 	type kv struct{ dev, val float64 }
 	col := make([]kv, theta)
+	vals := make([]float64, theta)
+	med := make([]float64, theta)
 	for d := 0; d < dim; d++ {
-		vals := make([]float64, theta)
 		for i, idx := range selected {
 			vals[i] = vs[idx][d]
 		}
-		med := medianOf(vals)
+		m := medianOf(vals, med)
 		for i, v := range vals {
-			dev := v - med
+			dev := v - m
 			if dev < 0 {
 				dev = -dev
 			}
 			col[i] = kv{dev, v}
 		}
-		sort.Slice(col, func(i, j int) bool { return col[i].dev < col[j].dev })
+		// Insertion sort: the column is tiny (θ ≤ the round size) and
+		// sort.Slice here costs allocations and indirect calls per
+		// coordinate across the full model dimension.
+		for i := 1; i < theta; i++ {
+			e := col[i]
+			j := i - 1
+			for ; j >= 0 && col[j].dev > e.dev; j-- {
+				col[j+1] = col[j]
+			}
+			col[j+1] = e
+		}
 		s := 0.0
 		for i := 0; i < beta; i++ {
 			s += col[i].val
@@ -272,9 +284,11 @@ func (b Bulyan) Aggregate(_ []float64, updates []fl.Update) ([]float64, []int, e
 	return out, selected, nil
 }
 
-func medianOf(vals []float64) float64 {
-	tmp := append([]float64(nil), vals...)
-	sort.Float64s(tmp)
+// medianOf returns the median of vals using tmp (same length) as sort
+// scratch; vals itself is left untouched.
+func medianOf(vals, tmp []float64) float64 {
+	copy(tmp, vals)
+	vec.SortSmall(tmp)
 	n := len(tmp)
 	if n%2 == 1 {
 		return tmp[n/2]

@@ -55,18 +55,9 @@ func (f *FoolsGold) Aggregate(global []float64, updates []fl.Update) ([]float64,
 		f.history[u.ClientID] = hist
 		dirs[i] = hist
 	}
-	// Pairwise cosine similarity of histories.
-	cs := make([][]float64, n)
-	for i := range cs {
-		cs[i] = make([]float64, n)
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			s := cosine(dirs[i], dirs[j])
-			cs[i][j] = s
-			cs[j][i] = s
-		}
-	}
+	// Pairwise cosine similarity of histories, via the shared
+	// distance-matrix service (norms computed once, rows in parallel).
+	cs := vec.CosineMatrix(dirs)
 	// Max similarity per client, with the pardoning step of Fung et al.:
 	// clients more "aligned" than their most similar peer are pardoned
 	// proportionally.
@@ -130,14 +121,6 @@ func (f *FoolsGold) Aggregate(global []float64, updates []fl.Update) ([]float64,
 		vec.Axpy(out, weights[i]/total, u.Weights)
 	}
 	return out, selected, nil
-}
-
-func cosine(a, b []float64) float64 {
-	na, nb := vec.Norm2(a), vec.Norm2(b)
-	if na == 0 || nb == 0 {
-		return 0
-	}
-	return vec.Dot(a, b) / (na * nb)
 }
 
 func clamp01(v float64) float64 {

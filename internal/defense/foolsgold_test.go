@@ -119,17 +119,21 @@ func TestFoolsGoldAllIdenticalFallsBack(t *testing.T) {
 	}
 }
 
-func TestCosine(t *testing.T) {
-	if got := cosine([]float64{1, 0}, []float64{1, 0}); got != 1 {
+func TestCosineMatrix(t *testing.T) {
+	cs := vec.CosineMatrix([][]float64{{1, 0}, {1, 0}, {0, 1}, {-1, 0}, {0, 0}})
+	if got := cs[0][1]; got != 1 {
 		t.Fatalf("cosine of identical = %v", got)
 	}
-	if got := cosine([]float64{1, 0}, []float64{0, 1}); got != 0 {
+	if got := cs[0][2]; got != 0 {
 		t.Fatalf("cosine of orthogonal = %v", got)
 	}
-	if got := cosine([]float64{1, 0}, []float64{-1, 0}); got != -1 {
+	if got := cs[0][3]; got != -1 {
 		t.Fatalf("cosine of opposite = %v", got)
 	}
-	if got := cosine([]float64{0, 0}, []float64{1, 0}); got != 0 {
+	if got := cs[0][4]; got != 0 {
 		t.Fatalf("cosine with zero vector = %v", got)
+	}
+	if got := cs[3][0]; got != -1 {
+		t.Fatalf("cosine matrix not symmetric: %v", got)
 	}
 }

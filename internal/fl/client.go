@@ -5,11 +5,18 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/nn"
+	"repro/internal/tensor"
 )
 
 // BenignClient owns a private data shard and faithfully executes local
 // training (Eq. 1): initialize from the global model, run LocalEpochs of
 // minibatch SGD on the shard, and return the resulting weights.
+//
+// A client does not have to own a model: the simulation's bounded worker
+// pool passes a reused per-worker model (with its scratch arena) to
+// TrainWith, so a 100-client population does not hold 100 model replicas.
+// Standalone clients (the network protocol, examples) construct one with a
+// model and call Train.
 type BenignClient struct {
 	id          int
 	data        *dataset.Dataset
@@ -22,8 +29,13 @@ type BenignClient struct {
 	scratch     []int
 }
 
-// NewBenignClient creates a client training on data[shard].
+// NewBenignClient creates a client training on data[shard]. model may be
+// nil when every caller provides the model via TrainWith; a non-nil model
+// is owned by the client and gets a scratch arena attached.
 func NewBenignClient(id int, data *dataset.Dataset, shard []int, model *nn.Network, lr float64, localEpochs, batchSize int, rng *rand.Rand) *BenignClient {
+	if model != nil && model.Scratch() == nil {
+		model.SetScratch(tensor.NewPool())
+	}
 	return &BenignClient{
 		id:          id,
 		data:        data,
@@ -43,10 +55,19 @@ func (c *BenignClient) ID() int { return c.id }
 // NumSamples returns the client's shard size n_i.
 func (c *BenignClient) NumSamples() int { return len(c.shard) }
 
-// Train runs local training from the given global weights and returns the
-// client's update.
+// Train runs local training from the given global weights on the client's
+// own model and returns the client's update.
 func (c *BenignClient) Train(global []float64) (Update, error) {
-	if err := c.model.SetWeightVector(global); err != nil {
+	return c.TrainWith(global, c.model)
+}
+
+// TrainWith runs local training from the given global weights on the
+// provided model (typically a reused worker model). The model's parameters
+// are fully overwritten before training, so which worker trains which
+// client never influences the result; the client's private randomness
+// drives the shard shuffle exactly as if it owned the model.
+func (c *BenignClient) TrainWith(global []float64, model *nn.Network) (Update, error) {
+	if err := model.SetWeightVector(global); err != nil {
 		return Update{}, err
 	}
 	copy(c.scratch, c.shard)
@@ -60,12 +81,12 @@ func (c *BenignClient) Train(global []float64) (Update, error) {
 				end = len(c.scratch)
 			}
 			x, labels := c.data.Batch(c.scratch[start:end])
-			nn.TrainBatch(c.model, c.opt, x, labels)
+			nn.TrainBatch(model, c.opt, x, labels)
 		}
 	}
 	return Update{
 		ClientID:   c.id,
-		Weights:    c.model.WeightVector(),
+		Weights:    model.WeightVector(),
 		NumSamples: len(c.shard),
 	}, nil
 }

@@ -1,90 +1,144 @@
 package fl
 
 import (
-	"runtime"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/nn"
+	"repro/internal/tensor"
 )
 
 // evalBatch is the forward-pass batch size used during evaluation.
 const evalBatch = 64
 
-// Evaluate returns the model's top-1 accuracy on the first limit samples of
-// the dataset (limit <= 0 means all). When parallel is true the evaluation
-// batches are spread over the available CPUs, each worker using its own
-// model clone so no layer state is shared.
-func Evaluate(model *nn.Network, ds *dataset.Dataset, limit int, parallel bool) float64 {
-	n := ds.Len()
-	if limit > 0 && limit < n {
-		n = limit
+// Evaluator measures top-1 accuracy over a dataset with persistent
+// per-worker model clones and scratch arenas, so the per-round evaluations
+// of a simulation reuse their buffers instead of cloning the model and
+// reallocating activations every round. The evaluated weights are copied
+// into each worker clone, never shared, so workers hold no common layer
+// state.
+type Evaluator struct {
+	ds      *dataset.Dataset
+	limit   int
+	workers []*evalWorker
+}
+
+type evalWorker struct {
+	model *nn.Network
+	idx   []int
+	preds []int
+}
+
+// NewEvaluator creates an evaluator over the first limit samples of ds
+// (limit <= 0 means all). Worker clones are created lazily from the first
+// evaluated model.
+func NewEvaluator(ds *dataset.Dataset, limit int) *Evaluator {
+	return &Evaluator{ds: ds, limit: limit}
+}
+
+func (e *Evaluator) ensureWorkers(model *nn.Network, n int) {
+	for len(e.workers) < n {
+		clone := model.Clone()
+		clone.SetScratch(tensor.NewPool())
+		e.workers = append(e.workers, &evalWorker{model: clone})
+	}
+}
+
+// syncWeights copies src's parameters into dst (architectures must match).
+func syncWeights(dst, src *nn.Network) {
+	dp, sp := dst.Params(), src.Params()
+	for i := range sp {
+		copy(dp[i].Data, sp[i].Data)
+	}
+}
+
+// countCorrect evaluates samples [start, end) and returns the number of
+// correct top-1 predictions.
+func (w *evalWorker) countCorrect(ds *dataset.Dataset, start, end int) int {
+	w.idx = w.idx[:0]
+	for i := start; i < end; i++ {
+		w.idx = append(w.idx, i)
+	}
+	x, labels := ds.Batch(w.idx)
+	w.model.ResetScratch()
+	w.preds = nn.PredictInto(w.preds, w.model.Forward(x, false))
+	correct := 0
+	for i, p := range w.preds {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return correct
+}
+
+// Accuracy returns model's top-1 accuracy on the evaluator's dataset. When
+// parallel is true the evaluation batches are spread over the kernel worker
+// pool; the result is identical either way, because each batch contributes
+// an integer count.
+func (e *Evaluator) Accuracy(model *nn.Network, parallel bool) float64 {
+	n := e.ds.Len()
+	if e.limit > 0 && e.limit < n {
+		n = e.limit
 	}
 	if n == 0 {
 		return 0
 	}
-	type chunk struct{ start, end int }
-	var chunks []chunk
-	for start := 0; start < n; start += evalBatch {
-		end := start + evalBatch
-		if end > n {
-			end = n
-		}
-		chunks = append(chunks, chunk{start, end})
+	chunks := (n + evalBatch - 1) / evalBatch
+	workers := 1
+	if parallel {
+		workers = tensor.Workers()
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	e.ensureWorkers(model, workers)
+	for _, w := range e.workers[:workers] {
+		syncWeights(w.model, model)
 	}
 
-	countCorrect := func(m *nn.Network, c chunk) int {
-		idx := make([]int, c.end-c.start)
-		for i := range idx {
-			idx[i] = c.start + i
-		}
-		x, labels := ds.Batch(idx)
-		preds := nn.Predict(m.Forward(x, false))
+	if workers <= 1 {
+		w := e.workers[0]
 		correct := 0
-		for i, p := range preds {
-			if p == labels[i] {
-				correct++
+		for start := 0; start < n; start += evalBatch {
+			end := start + evalBatch
+			if end > n {
+				end = n
 			}
-		}
-		return correct
-	}
-
-	if !parallel || len(chunks) == 1 {
-		correct := 0
-		for _, c := range chunks {
-			correct += countCorrect(model, c)
+			correct += w.countCorrect(e.ds, start, end)
 		}
 		return float64(correct) / float64(n)
 	}
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(chunks) {
-		workers = len(chunks)
-	}
-	work := make(chan chunk)
-	results := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			m := model.Clone()
-			for c := range work {
-				results <- countCorrect(m, c)
+	// Workers drain a shared chunk counter within the global slot budget,
+	// keeping the total compute goroutines within the -threads pin.
+	results := make([]int, chunks)
+	var next atomic.Int64
+	tensor.FanOut(workers, func(wi int) {
+		w := e.workers[wi]
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= chunks {
+				return
 			}
-		}()
-	}
-	go func() {
-		for _, c := range chunks {
-			work <- c
+			start := c * evalBatch
+			end := start + evalBatch
+			if end > n {
+				end = n
+			}
+			results[c] = w.countCorrect(e.ds, start, end)
 		}
-		close(work)
-		wg.Wait()
-		close(results)
-	}()
+	})
 	correct := 0
-	for r := range results {
+	for _, r := range results {
 		correct += r
 	}
 	return float64(correct) / float64(n)
+}
+
+// Evaluate returns the model's top-1 accuracy on the first limit samples of
+// the dataset (limit <= 0 means all). It is the one-shot form of Evaluator;
+// simulations hold an Evaluator so per-round evaluations reuse their worker
+// clones and arenas.
+func Evaluate(model *nn.Network, ds *dataset.Dataset, limit int, parallel bool) float64 {
+	return NewEvaluator(ds, limit).Accuracy(model, parallel)
 }

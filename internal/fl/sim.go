@@ -5,10 +5,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/nn"
+	"repro/internal/tensor"
 )
 
 // Config holds the simulation parameters of Section IV-A.
@@ -64,6 +65,14 @@ func (c *Config) Validate() error {
 
 // Simulation wires a dataset, a model architecture, an aggregation rule and
 // optionally an attack into the federated round loop.
+//
+// Client training runs on a bounded worker pool: each worker owns one model
+// replica with an attached scratch arena, both reused across clients and
+// rounds, so per-round cost does not include model construction and the
+// steady-state training path does not allocate. A client's result depends
+// only on the global weights and its private randomness, never on which
+// worker trains it, so Parallel changes wall-clock only — see
+// TestParallelDeterminism.
 type Simulation struct {
 	cfg        Config
 	train      *dataset.Dataset
@@ -76,6 +85,8 @@ type Simulation struct {
 
 	clients []*BenignClient
 	global  *nn.Network
+	workers []*nn.Network
+	eval    *Evaluator
 }
 
 // NewSimulation constructs a simulation. shards assigns training-sample
@@ -117,10 +128,25 @@ func NewSimulation(cfg Config, train, test *dataset.Dataset, shards [][]int,
 			continue
 		}
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919 + 1))
-		s.clients[i] = NewBenignClient(i, train, shards[i], newModel(rng), cfg.LR, cfg.LocalEpochs, cfg.BatchSize, rng)
+		// Clients hold no model of their own; the worker pool's reused
+		// replicas are passed in per round via TrainWith.
+		s.clients[i] = NewBenignClient(i, train, shards[i], nil, cfg.LR, cfg.LocalEpochs, cfg.BatchSize, rng)
 	}
 	s.global = newModel(rand.New(rand.NewSource(cfg.Seed)))
+	s.eval = NewEvaluator(test, cfg.EvalLimit)
 	return s, nil
+}
+
+// ensureWorkers grows the training worker pool to n reusable model
+// replicas, each with its own scratch arena. The replica weights are fully
+// overwritten at the start of every client's training, so the constructor
+// randomness is irrelevant.
+func (s *Simulation) ensureWorkers(n int) {
+	for len(s.workers) < n {
+		m := s.newModel(rand.New(rand.NewSource(s.cfg.Seed)))
+		m.SetScratch(tensor.NewPool())
+		s.workers = append(s.workers, m)
+	}
 }
 
 // GlobalWeights returns a copy of the current global weight vector.
@@ -240,7 +266,7 @@ func (s *Simulation) Run() (*Result, error) {
 		}
 
 		if (round+1)%s.cfg.EvalEvery == 0 || round == s.cfg.Rounds-1 {
-			acc := Evaluate(s.global, s.test, s.cfg.EvalLimit, s.cfg.Parallel)
+			acc := s.eval.Accuracy(s.global, s.cfg.Parallel)
 			stats.Accuracy = acc
 			if acc > res.MaxAccuracy {
 				res.MaxAccuracy = acc
@@ -267,11 +293,28 @@ func (s *Simulation) meanShardSize() int {
 	return total / n
 }
 
+// trainBenign trains the selected benign clients on the bounded worker
+// pool: at most tensor.Workers() goroutines run, each owning one reused
+// model replica and arena. Serial and parallel execution produce identical
+// updates.
 func (s *Simulation) trainBenign(ids []int, global []float64) ([]Update, error) {
 	updates := make([]Update, len(ids))
-	if !s.cfg.Parallel || len(ids) <= 1 {
+	if len(ids) == 0 {
+		return updates, nil
+	}
+	workers := 1
+	if s.cfg.Parallel {
+		workers = tensor.Workers()
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	s.ensureWorkers(workers)
+
+	if workers <= 1 {
+		model := s.workers[0]
 		for i, id := range ids {
-			u, err := s.clients[id].Train(global)
+			u, err := s.clients[id].TrainWith(global, model)
 			if err != nil {
 				return nil, err
 			}
@@ -279,21 +322,21 @@ func (s *Simulation) trainBenign(ids []int, global []float64) ([]Update, error) 
 		}
 		return updates, nil
 	}
-	var wg sync.WaitGroup
+
+	// Workers drain a shared counter within the global slot budget, so the
+	// -threads pin bounds the total compute goroutines.
 	errs := make([]error, len(ids))
-	for i, id := range ids {
-		wg.Add(1)
-		go func(i, id int) {
-			defer wg.Done()
-			u, err := s.clients[id].Train(global)
-			if err != nil {
-				errs[i] = err
+	var next atomic.Int64
+	tensor.FanOut(workers, func(w int) {
+		model := s.workers[w]
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(ids) {
 				return
 			}
-			updates[i] = u
-		}(i, id)
-	}
-	wg.Wait()
+			updates[i], errs[i] = s.clients[ids[i]].TrainWith(global, model)
+		}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -92,6 +92,9 @@ type Server struct {
 	agg      fl.Aggregator
 	newModel func(rng *rand.Rand) *nn.Network
 	test     *dataset.Dataset
+	// eval reuses its worker clones and scratch arenas across the
+	// per-round evaluations.
+	eval *fl.Evaluator
 }
 
 // NewServer builds a server with the given aggregation rule, model
@@ -103,7 +106,11 @@ func NewServer(cfg ServerConfig, agg fl.Aggregator, newModel func(rng *rand.Rand
 	if agg == nil {
 		return nil, errors.New("flnet: aggregator must not be nil")
 	}
-	return &Server{cfg: cfg, agg: agg, newModel: newModel, test: test}, nil
+	s := &Server{cfg: cfg, agg: agg, newModel: newModel, test: test}
+	if test != nil {
+		s.eval = fl.NewEvaluator(test, cfg.EvalLimit)
+	}
+	return s, nil
 }
 
 // Serve accepts MinClients clients on lis, runs the configured rounds, and
@@ -180,7 +187,7 @@ func (s *Server) Serve(lis net.Listener) (*ServerResult, error) {
 			if err := global.SetWeightVector(weights); err != nil {
 				return nil, err
 			}
-			acc := fl.Evaluate(global, s.test, s.cfg.EvalLimit, true)
+			acc := s.eval.Accuracy(global, true)
 			report.Accuracy = acc
 			if acc > res.MaxAccuracy {
 				res.MaxAccuracy = acc

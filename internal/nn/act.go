@@ -6,9 +6,17 @@ import (
 	"repro/internal/tensor"
 )
 
+// cloneInto returns a pooled (or heap, without a pool) copy of x.
+func cloneInto(p *tensor.Pool, x *tensor.Tensor) *tensor.Tensor {
+	out := p.GetTensor(x.Shape...)
+	copy(out.Data, x.Data)
+	return out
+}
+
 // ReLU is the rectified-linear activation max(0, x).
 type ReLU struct {
-	mask []bool
+	mask    []bool
+	scratch *tensor.Pool
 }
 
 var _ Layer = (*ReLU)(nil)
@@ -16,9 +24,11 @@ var _ Layer = (*ReLU)(nil)
 // NewReLU returns a ReLU activation layer.
 func NewReLU() *ReLU { return &ReLU{} }
 
+func (r *ReLU) setScratch(p *tensor.Pool) { r.scratch = p }
+
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := x.Clone()
+	out := cloneInto(r.scratch, x)
 	if train {
 		if cap(r.mask) < len(out.Data) {
 			r.mask = make([]bool, len(out.Data))
@@ -39,7 +49,7 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := grad.Clone()
+	out := cloneInto(r.scratch, grad)
 	for i := range out.Data {
 		if !r.mask[i] {
 			out.Data[i] = 0
@@ -62,7 +72,8 @@ func (r *ReLU) Clone() Layer { return NewReLU() }
 type LeakyReLU struct {
 	Alpha float64
 
-	mask []bool
+	mask    []bool
+	scratch *tensor.Pool
 }
 
 var _ Layer = (*LeakyReLU)(nil)
@@ -70,9 +81,11 @@ var _ Layer = (*LeakyReLU)(nil)
 // NewLeakyReLU returns a LeakyReLU with the given negative slope.
 func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
 
+func (r *LeakyReLU) setScratch(p *tensor.Pool) { r.scratch = p }
+
 // Forward implements Layer.
 func (r *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := x.Clone()
+	out := cloneInto(r.scratch, x)
 	if train {
 		if cap(r.mask) < len(out.Data) {
 			r.mask = make([]bool, len(out.Data))
@@ -93,7 +106,7 @@ func (r *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (r *LeakyReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := grad.Clone()
+	out := cloneInto(r.scratch, grad)
 	for i := range out.Data {
 		if !r.mask[i] {
 			out.Data[i] *= r.Alpha
@@ -115,6 +128,7 @@ func (r *LeakyReLU) Clone() Layer { return NewLeakyReLU(r.Alpha) }
 // nonlinearity so synthesized pixels stay in [−1, 1] like normalized images.
 type Tanh struct {
 	lastOutput *tensor.Tensor
+	scratch    *tensor.Pool
 }
 
 var _ Layer = (*Tanh)(nil)
@@ -122,9 +136,11 @@ var _ Layer = (*Tanh)(nil)
 // NewTanh returns a Tanh activation layer.
 func NewTanh() *Tanh { return &Tanh{} }
 
+func (a *Tanh) setScratch(p *tensor.Pool) { a.scratch = p }
+
 // Forward implements Layer.
 func (a *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := x.Clone()
+	out := cloneInto(a.scratch, x)
 	for i, v := range out.Data {
 		out.Data[i] = math.Tanh(v)
 	}
@@ -136,7 +152,7 @@ func (a *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (a *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := grad.Clone()
+	out := cloneInto(a.scratch, grad)
 	for i := range out.Data {
 		y := a.lastOutput.Data[i]
 		out.Data[i] *= 1 - y*y
@@ -157,6 +173,7 @@ func (a *Tanh) Clone() Layer { return NewTanh() }
 // the original shape on the backward pass.
 type Flatten struct {
 	lastShape []int
+	scratch   *tensor.Pool
 }
 
 var _ Layer = (*Flatten)(nil)
@@ -164,18 +181,20 @@ var _ Layer = (*Flatten)(nil)
 // NewFlatten returns a Flatten layer.
 func NewFlatten() *Flatten { return &Flatten{} }
 
+func (f *Flatten) setScratch(p *tensor.Pool) { f.scratch = p }
+
 // Forward implements Layer.
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
-		f.lastShape = append([]int(nil), x.Shape...)
+		f.lastShape = append(f.lastShape[:0], x.Shape...)
 	}
 	batch := x.Shape[0]
-	return x.Reshape(batch, x.Len()/batch)
+	return f.scratch.GetView(x.Data, batch, x.Len()/batch)
 }
 
 // Backward implements Layer.
 func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return grad.Reshape(f.lastShape...)
+	return f.scratch.GetView(grad.Data, f.lastShape...)
 }
 
 // Params implements Layer.

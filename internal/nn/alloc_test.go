@@ -1,0 +1,47 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestTrainBatchZeroSteadyStateAlloc locks in the scratch-arena guarantee:
+// once the arena is warm, a full forward/backward/step of a training batch
+// performs no heap allocation.
+func TestTrainBatchZeroSteadyStateAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	// Pin to one worker: the guarantee covers the layer compute itself;
+	// multi-worker fan-out adds a few goroutine-bookkeeping allocations.
+	tensor.SetWorkers(1)
+	defer tensor.SetWorkers(0)
+	for name, build := range map[string]func(*rand.Rand) *Network{
+		"fashion": func(rng *rand.Rand) *Network { return NewFashionCNN(rng, 1, 16, 10) },
+		"deep":    func(rng *rand.Rand) *Network { return NewDeepCNN(rng, 3, 16, 10) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			net := build(rng)
+			net.SetScratch(tensor.NewPool())
+			opt := NewSGD(0.05, 0)
+			x := tensor.New(8, net.Layers()[0].(*Conv2D).InC, 16, 16)
+			x.FillNormal(rng, 0, 1)
+			labels := make([]int, 8)
+			for i := range labels {
+				labels[i] = rng.Intn(10)
+			}
+			for i := 0; i < 3; i++ { // warm the arena and the GEMM pack pools
+				TrainBatch(net, opt, x, labels)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				TrainBatch(net, opt, x, labels)
+			})
+			if allocs > 0 {
+				t.Errorf("steady-state TrainBatch allocates %v times per run", allocs)
+			}
+		})
+	}
+}

@@ -9,6 +9,9 @@ import (
 
 func benchNet(b *testing.B, net *Network, x *tensor.Tensor, classes int) {
 	b.Helper()
+	// Clients attach a scratch arena before training; benchmark the same
+	// configuration.
+	net.SetScratch(tensor.NewPool())
 	labels := make([]int, x.Shape[0])
 	opt := NewSGD(0.05, 0)
 	b.ReportAllocs()
@@ -43,12 +46,14 @@ func BenchmarkDeepCNNTrainBatch(b *testing.B) {
 func BenchmarkGeneratorForward(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	gen := NewGenerator(rng, 3, 16)
+	gen.SetScratch(tensor.NewPool())
 	c, h, w := GeneratorLatentSize(16)
 	z := tensor.New(20, c, h, w)
 	z.FillNormal(rng, 0, 1)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		gen.ResetScratch()
 		_ = gen.Forward(z, false)
 	}
 }

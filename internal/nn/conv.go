@@ -15,6 +15,16 @@ import (
 // DFA-R's "filter layer" (Fig. 2 of the paper) is an instance of this layer:
 // a single convolution mapping a static random image A to the synthetic
 // image B, trained through the frozen global model.
+//
+// Both passes are lowered onto im2col/col2im plus the blocked GEMM kernels:
+// per sample, the forward pass is weight[outC, inC·k²] times the patch
+// matrix, the weight gradient is the output gradient times the transposed
+// patch matrix, and the input gradient is col2im of weightᵀ times the
+// output gradient. Samples are fanned out over the kernel worker pool with
+// per-chunk patch buffers; the per-sample weight-gradient partials are
+// reduced in batch order so results do not depend on the worker count. The
+// original scalar loops are retained as forwardNaive/backwardNaive for the
+// equivalence tests.
 type Conv2D struct {
 	InC, OutC   int
 	Kernel      int
@@ -26,6 +36,10 @@ type Conv2D struct {
 	gradB  *tensor.Tensor
 
 	lastInput *tensor.Tensor
+
+	scratch  *tensor.Pool
+	colsBufs [][]float64
+	dwBufs   [][]float64
 }
 
 var _ Layer = (*Conv2D)(nil)
@@ -57,8 +71,138 @@ func (c *Conv2D) OutSize(in int) int {
 	return (in+2*c.Pad-c.Kernel)/c.Stride + 1
 }
 
+func (c *Conv2D) setScratch(p *tensor.Pool) { c.scratch = p }
+
+// stageConvBufs refills the persistent buffer holders of a convolution
+// layer from its scratch pool: one patch buffer per parallel chunk and,
+// when dwSize > 0, one weight-gradient partial per sample. Both Conv2D and
+// ConvTranspose2D stage through this one helper.
+func stageConvBufs(pool *tensor.Pool, colsBufs, dwBufs [][]float64, batch, colsSize, dwSize int) (cols, dw [][]float64) {
+	nch := tensor.ChunkCount(batch, 1)
+	colsBufs = colsBufs[:0]
+	for i := 0; i < nch; i++ {
+		colsBufs = append(colsBufs, pool.Get(colsSize))
+	}
+	dwBufs = dwBufs[:0]
+	if dwSize > 0 {
+		for i := 0; i < batch; i++ {
+			dwBufs = append(dwBufs, pool.Get(dwSize))
+		}
+	}
+	return colsBufs, dwBufs
+}
+
+// reduceConvPartials folds the per-sample weight-gradient partials and the
+// per-sample bias-gradient sums into gradW/gradB in batch order, the fixed
+// reduction both convolution layers rely on for worker-count invariance.
+func reduceConvPartials(gradW, gradB []float64, dwBufs [][]float64, grad []float64, batch, outC, oHW int) {
+	for b := 0; b < batch; b++ {
+		dwb := dwBufs[b]
+		for i := range gradW {
+			gradW[i] += dwb[i]
+		}
+		gb := grad[b*outC*oHW : (b+1)*outC*oHW]
+		for oc := 0; oc < outC; oc++ {
+			sum := gradB[oc]
+			for _, v := range gb[oc*oHW : (oc+1)*oHW] {
+				sum += v
+			}
+			gradB[oc] = sum
+		}
+	}
+}
+
 // Forward implements Layer.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		c.lastInput = x
+	}
+	batch, inC, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if inC != c.InC {
+		panic(fmt.Sprintf("nn: conv input channels %d, want %d", inC, c.InC))
+	}
+	outH, outW := c.OutSize(h), c.OutSize(w)
+	oHW := outH * outW
+	ck2 := inC * c.Kernel * c.Kernel
+	out := c.scratch.GetTensor(batch, c.OutC, outH, outW)
+	c.colsBufs, c.dwBufs = stageConvBufs(c.scratch, c.colsBufs, c.dwBufs, batch, ck2*oHW, 0)
+	if len(c.colsBufs) == 1 {
+		c.forwardChunk(x, out, 0, batch, 0) // no closure on the serial path
+	} else {
+		tensor.ParallelForChunksCap(batch, 1, len(c.colsBufs), func(lo, hi, ch int) {
+			c.forwardChunk(x, out, lo, hi, ch)
+		})
+	}
+	return out
+}
+
+// forwardChunk runs the GEMM-lowered forward pass for samples [lo, hi)
+// using the chunk's staged patch buffer.
+func (c *Conv2D) forwardChunk(x, out *tensor.Tensor, lo, hi, ch int) {
+	inC, h, w := x.Shape[1], x.Shape[2], x.Shape[3]
+	outH, outW := out.Shape[2], out.Shape[3]
+	oHW := outH * outW
+	k, s, p := c.Kernel, c.Stride, c.Pad
+	ck2 := inC * k * k
+	cols := c.colsBufs[ch]
+	for b := lo; b < hi; b++ {
+		im2col(cols, x.Data[b*inC*h*w:(b+1)*inC*h*w], inC, h, w, k, s, p, outH, outW)
+		ob := out.Data[b*c.OutC*oHW : (b+1)*c.OutC*oHW]
+		for oc := 0; oc < c.OutC; oc++ {
+			row := ob[oc*oHW : (oc+1)*oHW]
+			bv := c.bias.Data[oc]
+			for i := range row {
+				row[i] = bv
+			}
+		}
+		tensor.GemmNN(ob, c.weight.Data, cols, c.OutC, ck2, oHW, true)
+	}
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.lastInput
+	batch, inC, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	outH, outW := grad.Shape[2], grad.Shape[3]
+	oHW := outH * outW
+	ck2 := inC * c.Kernel * c.Kernel
+	dx := c.scratch.GetTensor(batch, inC, h, w)
+	c.colsBufs, c.dwBufs = stageConvBufs(c.scratch, c.colsBufs, c.dwBufs, batch, ck2*oHW, c.OutC*ck2)
+	if len(c.colsBufs) == 1 {
+		c.backwardChunk(x, grad, dx, 0, batch, 0)
+	} else {
+		tensor.ParallelForChunksCap(batch, 1, len(c.colsBufs), func(lo, hi, ch int) {
+			c.backwardChunk(x, grad, dx, lo, hi, ch)
+		})
+	}
+	reduceConvPartials(c.gradW.Data, c.gradB.Data, c.dwBufs, grad.Data, batch, c.OutC, oHW)
+	return dx
+}
+
+// backwardChunk runs the GEMM-lowered backward pass for samples [lo, hi):
+// the sample's weight-gradient partial, then the input gradient via
+// col2im of weightᵀ times the output gradient.
+func (c *Conv2D) backwardChunk(x, grad, dx *tensor.Tensor, lo, hi, ch int) {
+	inC, h, w := x.Shape[1], x.Shape[2], x.Shape[3]
+	outH, outW := grad.Shape[2], grad.Shape[3]
+	oHW := outH * outW
+	k, s, p := c.Kernel, c.Stride, c.Pad
+	ck2 := inC * k * k
+	cols := c.colsBufs[ch]
+	for b := lo; b < hi; b++ {
+		im2col(cols, x.Data[b*inC*h*w:(b+1)*inC*h*w], inC, h, w, k, s, p, outH, outW)
+		gb := grad.Data[b*c.OutC*oHW : (b+1)*c.OutC*oHW]
+		// dW_b = dOut_b · colsᵀ, into this sample's partial.
+		tensor.GemmNT(c.dwBufs[b], gb, cols, c.OutC, oHW, ck2, false)
+		// dCols = weightᵀ · dOut_b, overwriting the patch buffer.
+		tensor.GemmTN(cols, c.weight.Data, gb, ck2, c.OutC, oHW, false)
+		col2im(dx.Data[b*inC*h*w:(b+1)*inC*h*w], cols, inC, h, w, k, s, p, outH, outW)
+	}
+}
+
+// forwardNaive is the original 7-deep scalar-loop forward pass, retained as
+// the reference the GEMM lowering is tested against.
+func (c *Conv2D) forwardNaive(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		c.lastInput = x
 	}
@@ -105,8 +249,9 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return out
 }
 
-// Backward implements Layer.
-func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+// backwardNaive is the original scalar-loop backward pass, retained as the
+// reference the GEMM lowering is tested against.
+func (c *Conv2D) backwardNaive(grad *tensor.Tensor) *tensor.Tensor {
 	x := c.lastInput
 	batch, inC, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	outH, outW := grad.Shape[2], grad.Shape[3]
@@ -178,6 +323,10 @@ func (c *Conv2D) Clone() Layer {
 //
 // The DFA-G generator follows the WGAN recipe cited by the paper: two
 // transposed convolutions upsample a latent noise block into an image.
+//
+// Like Conv2D, both passes are GEMM-lowered: the forward pass col2im-scatters
+// weightᵀ·x, the backward pass im2col-expands the output gradient. The
+// original scatter loops are retained as forwardNaive/backwardNaive.
 type ConvTranspose2D struct {
 	InC, OutC   int
 	Kernel      int
@@ -189,6 +338,10 @@ type ConvTranspose2D struct {
 	gradB  *tensor.Tensor
 
 	lastInput *tensor.Tensor
+
+	scratch  *tensor.Pool
+	colsBufs [][]float64
+	dwBufs   [][]float64
 }
 
 var _ Layer = (*ConvTranspose2D)(nil)
@@ -221,8 +374,106 @@ func (c *ConvTranspose2D) OutSize(in int) int {
 	return (in-1)*c.Stride - 2*c.Pad + c.Kernel
 }
 
+func (c *ConvTranspose2D) setScratch(p *tensor.Pool) { c.scratch = p }
+
 // Forward implements Layer.
 func (c *ConvTranspose2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		c.lastInput = x
+	}
+	batch, inC, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if inC != c.InC {
+		panic(fmt.Sprintf("nn: convT input channels %d, want %d", inC, c.InC))
+	}
+	outH, outW := c.OutSize(h), c.OutSize(w)
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("nn: convT output size %dx%d not positive", outH, outW))
+	}
+	hw := h * w
+	ock2 := c.OutC * c.Kernel * c.Kernel
+	out := c.scratch.GetTensor(batch, c.OutC, outH, outW)
+	c.colsBufs, c.dwBufs = stageConvBufs(c.scratch, c.colsBufs, c.dwBufs, batch, ock2*hw, 0)
+	if len(c.colsBufs) == 1 {
+		c.forwardChunk(x, out, 0, batch, 0)
+	} else {
+		tensor.ParallelForChunksCap(batch, 1, len(c.colsBufs), func(lo, hi, ch int) {
+			c.forwardChunk(x, out, lo, hi, ch)
+		})
+	}
+	return out
+}
+
+// forwardChunk runs the GEMM-lowered forward scatter for samples [lo, hi).
+func (c *ConvTranspose2D) forwardChunk(x, out *tensor.Tensor, lo, hi, ch int) {
+	inC, h, w := x.Shape[1], x.Shape[2], x.Shape[3]
+	outH, outW := out.Shape[2], out.Shape[3]
+	k, s, p := c.Kernel, c.Stride, c.Pad
+	hw := h * w
+	oHW := outH * outW
+	ock2 := c.OutC * k * k
+	cols := c.colsBufs[ch]
+	for b := lo; b < hi; b++ {
+		// cols = weightᵀ · x_b over [inC, outC·k²] × [inC, hw].
+		tensor.GemmTN(cols, c.weight.Data, x.Data[b*inC*hw:(b+1)*inC*hw], ock2, inC, hw, false)
+		ob := out.Data[b*c.OutC*oHW : (b+1)*c.OutC*oHW]
+		for oc := 0; oc < c.OutC; oc++ {
+			row := ob[oc*oHW : (oc+1)*oHW]
+			bv := c.bias.Data[oc]
+			for i := range row {
+				row[i] = bv
+			}
+		}
+		col2im(ob, cols, c.OutC, outH, outW, k, s, p, h, w)
+	}
+}
+
+// Backward implements Layer.
+func (c *ConvTranspose2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.lastInput
+	batch, inC, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	outH, outW := grad.Shape[2], grad.Shape[3]
+	hw := h * w
+	oHW := outH * outW
+	ock2 := c.OutC * c.Kernel * c.Kernel
+	dx := c.scratch.GetTensor(batch, inC, h, w)
+	c.colsBufs, c.dwBufs = stageConvBufs(c.scratch, c.colsBufs, c.dwBufs, batch, ock2*hw, inC*ock2)
+	if len(c.colsBufs) == 1 {
+		c.backwardChunk(x, grad, dx, 0, batch, 0)
+	} else {
+		tensor.ParallelForChunksCap(batch, 1, len(c.colsBufs), func(lo, hi, ch int) {
+			c.backwardChunk(x, grad, dx, lo, hi, ch)
+		})
+	}
+	reduceConvPartials(c.gradW.Data, c.gradB.Data, c.dwBufs, grad.Data, batch, c.OutC, oHW)
+	return dx
+}
+
+// backwardChunk runs the GEMM-lowered backward pass for samples [lo, hi):
+// im2col of the output gradient, then the sample's weight-gradient partial
+// and the input gradient.
+func (c *ConvTranspose2D) backwardChunk(x, grad, dx *tensor.Tensor, lo, hi, ch int) {
+	inC, h, w := x.Shape[1], x.Shape[2], x.Shape[3]
+	outH, outW := grad.Shape[2], grad.Shape[3]
+	k, s, p := c.Kernel, c.Stride, c.Pad
+	hw := h * w
+	oHW := outH * outW
+	ock2 := c.OutC * k * k
+	cols := c.colsBufs[ch]
+	for b := lo; b < hi; b++ {
+		// dCols = im2col(dOut_b) with the layer's geometry reversed:
+		// output positions of the scatter are the input positions here.
+		im2col(cols, grad.Data[b*c.OutC*oHW:(b+1)*c.OutC*oHW], c.OutC, outH, outW, k, s, p, h, w)
+		xb := x.Data[b*inC*hw : (b+1)*inC*hw]
+		// dW_b = x_b · dColsᵀ.
+		tensor.GemmNT(c.dwBufs[b], xb, cols, inC, hw, ock2, false)
+		// dx_b = weight · dCols.
+		tensor.GemmNN(dx.Data[b*inC*hw:(b+1)*inC*hw], c.weight.Data, cols, inC, ock2, hw, false)
+	}
+}
+
+// forwardNaive is the original scatter-loop forward pass, retained as the
+// reference the GEMM lowering is tested against.
+func (c *ConvTranspose2D) forwardNaive(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		c.lastInput = x
 	}
@@ -285,8 +536,9 @@ func (c *ConvTranspose2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return out
 }
 
-// Backward implements Layer.
-func (c *ConvTranspose2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+// backwardNaive is the original scalar-loop backward pass, retained as the
+// reference the GEMM lowering is tested against.
+func (c *ConvTranspose2D) backwardNaive(grad *tensor.Tensor) *tensor.Tensor {
 	x := c.lastInput
 	batch, inC, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	outH, outW := grad.Shape[2], grad.Shape[3]

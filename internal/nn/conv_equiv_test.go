@@ -1,0 +1,198 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func maxRelDiff(t *testing.T, got, want *tensor.Tensor) float64 {
+	t.Helper()
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("size mismatch %v vs %v", got.Shape, want.Shape)
+	}
+	worst := 0.0
+	for i := range got.Data {
+		d := math.Abs(got.Data[i] - want.Data[i])
+		scale := math.Max(1, math.Max(math.Abs(got.Data[i]), math.Abs(want.Data[i])))
+		if r := d / scale; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// checkConvCase runs one forward+backward through the GEMM-lowered Conv2D
+// and through the retained naive reference on an identically initialized
+// clone, asserting outputs, input gradients and parameter gradients agree.
+func checkConvCase(t *testing.T, rng *rand.Rand, batch, inC, outC, size, kernel, stride, pad int) {
+	t.Helper()
+	fast := NewConv2D(rng, inC, outC, kernel, stride, pad)
+	slow := fast.Clone().(*Conv2D)
+	pool := tensor.NewPool()
+	fast.setScratch(pool)
+
+	x := tensor.New(batch, inC, size, size)
+	x.FillNormal(rng, 0, 1)
+	outH := fast.OutSize(size)
+	if outH <= 0 {
+		t.Fatalf("invalid case: outH %d", outH)
+	}
+	grad := tensor.New(batch, outC, outH, outH)
+	grad.FillNormal(rng, 0, 1)
+
+	outFast := fast.Forward(x, true)
+	outSlow := slow.forwardNaive(x, true)
+	if d := maxRelDiff(t, outFast, outSlow); d > 1e-9 {
+		t.Errorf("conv fwd b=%d c=%d→%d s=%d k=%d st=%d p=%d: rel diff %g", batch, inC, outC, size, kernel, stride, pad, d)
+	}
+	dxFast := fast.Backward(grad)
+	dxSlow := slow.backwardNaive(grad)
+	if d := maxRelDiff(t, dxFast, dxSlow); d > 1e-9 {
+		t.Errorf("conv bwd dx b=%d c=%d→%d s=%d k=%d st=%d p=%d: rel diff %g", batch, inC, outC, size, kernel, stride, pad, d)
+	}
+	if d := maxRelDiff(t, fast.gradW, slow.gradW); d > 1e-9 {
+		t.Errorf("conv bwd gradW: rel diff %g", d)
+	}
+	if d := maxRelDiff(t, fast.gradB, slow.gradB); d > 1e-9 {
+		t.Errorf("conv bwd gradB: rel diff %g", d)
+	}
+}
+
+// TestConv2DMatchesNaive covers the paper's layer shapes plus randomized
+// stride/padding edge cases and the batch=1 path.
+func TestConv2DMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := [][7]int{
+		// batch, inC, outC, size, kernel, stride, pad
+		{1, 1, 8, 16, 3, 2, 1},  // FashionCNN conv1, batch=1
+		{16, 1, 8, 16, 3, 2, 1}, // FashionCNN conv1
+		{16, 8, 16, 8, 3, 2, 1}, // FashionCNN conv2
+		{4, 3, 8, 16, 3, 1, 1},  // DeepCNN conv1
+		{2, 16, 32, 8, 3, 1, 1}, // DeepCNN conv5
+		{3, 2, 5, 7, 3, 1, 0},   // no padding
+		{2, 2, 3, 9, 5, 2, 2},   // larger kernel
+		{1, 1, 1, 4, 3, 3, 1},   // stride > kernel reach
+		{2, 3, 4, 5, 5, 1, 4},   // padding wider than the image edge
+		{1, 2, 2, 6, 1, 1, 0},   // 1×1 kernel
+		{2, 1, 3, 5, 2, 2, 0},   // even kernel
+	}
+	for _, c := range cases {
+		checkConvCase(t, rng, c[0], c[1], c[2], c[3], c[4], c[5], c[6])
+	}
+	for i := 0; i < 10; i++ {
+		size := 3 + rng.Intn(10)
+		kernel := 1 + rng.Intn(4)
+		stride := 1 + rng.Intn(3)
+		pad := rng.Intn(3)
+		if (size+2*pad-kernel)/stride+1 <= 0 || size+2*pad < kernel {
+			continue
+		}
+		checkConvCase(t, rng, 1+rng.Intn(4), 1+rng.Intn(3), 1+rng.Intn(5), size, kernel, stride, pad)
+	}
+}
+
+func checkConvTCase(t *testing.T, rng *rand.Rand, batch, inC, outC, size, kernel, stride, pad int) {
+	t.Helper()
+	fast := NewConvTranspose2D(rng, inC, outC, kernel, stride, pad)
+	slow := fast.Clone().(*ConvTranspose2D)
+	pool := tensor.NewPool()
+	fast.setScratch(pool)
+
+	x := tensor.New(batch, inC, size, size)
+	x.FillNormal(rng, 0, 1)
+	outH := fast.OutSize(size)
+	if outH <= 0 {
+		t.Fatalf("invalid case: outH %d", outH)
+	}
+	grad := tensor.New(batch, outC, outH, outH)
+	grad.FillNormal(rng, 0, 1)
+
+	outFast := fast.Forward(x, true)
+	outSlow := slow.forwardNaive(x, true)
+	if d := maxRelDiff(t, outFast, outSlow); d > 1e-9 {
+		t.Errorf("convT fwd b=%d c=%d→%d s=%d k=%d st=%d p=%d: rel diff %g", batch, inC, outC, size, kernel, stride, pad, d)
+	}
+	dxFast := fast.Backward(grad)
+	dxSlow := slow.backwardNaive(grad)
+	if d := maxRelDiff(t, dxFast, dxSlow); d > 1e-9 {
+		t.Errorf("convT bwd dx b=%d c=%d→%d s=%d k=%d st=%d p=%d: rel diff %g", batch, inC, outC, size, kernel, stride, pad, d)
+	}
+	if d := maxRelDiff(t, fast.gradW, slow.gradW); d > 1e-9 {
+		t.Errorf("convT bwd gradW: rel diff %g", d)
+	}
+	if d := maxRelDiff(t, fast.gradB, slow.gradB); d > 1e-9 {
+		t.Errorf("convT bwd gradB: rel diff %g", d)
+	}
+}
+
+// TestConvTranspose2DMatchesNaive covers the generator's layer shapes plus
+// randomized stride/padding edge cases and the batch=1 path.
+func TestConvTranspose2DMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cases := [][7]int{
+		{1, 8, 16, 4, 4, 2, 1},  // generator convT1, batch=1
+		{20, 8, 16, 4, 4, 2, 1}, // generator convT1
+		{4, 16, 8, 8, 4, 2, 1},  // generator convT2
+		{2, 3, 4, 5, 3, 1, 0},   // stride 1
+		{1, 2, 3, 4, 3, 3, 0},   // stride > kernel: gaps in the scatter
+		{2, 2, 2, 5, 4, 2, 2},   // heavy padding trims the output
+		{1, 1, 1, 3, 1, 1, 0},   // 1×1 kernel
+	}
+	for _, c := range cases {
+		checkConvTCase(t, rng, c[0], c[1], c[2], c[3], c[4], c[5], c[6])
+	}
+	for i := 0; i < 8; i++ {
+		size := 2 + rng.Intn(6)
+		kernel := 1 + rng.Intn(4)
+		stride := 1 + rng.Intn(3)
+		pad := rng.Intn(2)
+		if (size-1)*stride-2*pad+kernel <= 0 {
+			continue
+		}
+		checkConvTCase(t, rng, 1+rng.Intn(3), 1+rng.Intn(3), 1+rng.Intn(4), size, kernel, stride, pad)
+	}
+}
+
+// TestConvWorkerCountInvariance asserts a training step's gradients are
+// bit-identical however many workers the batch fan-out uses.
+func TestConvWorkerCountInvariance(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	build := func() (*Conv2D, *tensor.Tensor, *tensor.Tensor) {
+		rng := rand.New(rand.NewSource(5))
+		l := NewConv2D(rng, 3, 8, 3, 2, 1)
+		l.setScratch(tensor.NewPool())
+		x := tensor.New(9, 3, 12, 12)
+		x.FillNormal(rng, 0, 1)
+		g := tensor.New(9, 8, l.OutSize(12), l.OutSize(12))
+		g.FillNormal(rng, 0, 1)
+		return l, x, g
+	}
+	tensor.SetWorkers(1)
+	ref, x, g := build()
+	refOut := ref.Forward(x, true)
+	refDx := ref.Backward(g)
+	for _, w := range []int{2, 3, 7} {
+		tensor.SetWorkers(w)
+		l, x, g := build()
+		out := l.Forward(x, true)
+		for i := range out.Data {
+			if out.Data[i] != refOut.Data[i] {
+				t.Fatalf("workers=%d: forward differs at %d", w, i)
+			}
+		}
+		dx := l.Backward(g)
+		for i := range dx.Data {
+			if dx.Data[i] != refDx.Data[i] {
+				t.Fatalf("workers=%d: dx differs at %d", w, i)
+			}
+		}
+		for i := range l.gradW.Data {
+			if l.gradW.Data[i] != ref.gradW.Data[i] {
+				t.Fatalf("workers=%d: gradW differs at %d", w, i)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -18,6 +19,7 @@ type Dense struct {
 	gradB  *tensor.Tensor
 
 	lastInput *tensor.Tensor
+	scratch   *tensor.Pool
 }
 
 var _ Layer = (*Dense)(nil)
@@ -37,13 +39,25 @@ func NewDense(rng *rand.Rand, in, out int) *Dense {
 	return d
 }
 
+func (d *Dense) setScratch(p *tensor.Pool) { d.scratch = p }
+
+// checkInput validates the shape contract the raw GEMM calls no longer
+// enforce: rank-2 input whose feature width matches the layer.
+func (d *Dense) checkInput(x *tensor.Tensor) {
+	if len(x.Shape) != 2 || x.Shape[1] != d.In {
+		panic(fmt.Sprintf("nn: dense input shape %v, want [batch %d]", x.Shape, d.In))
+	}
+}
+
 // Forward implements Layer.
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	d.checkInput(x)
 	if train {
 		d.lastInput = x
 	}
-	out := tensor.MatMul(x, d.weight)
 	batch := x.Shape[0]
+	out := d.scratch.GetTensor(batch, d.Out)
+	tensor.GemmNN(out.Data, x.Data, d.weight.Data, batch, d.In, d.Out, false)
 	for b := 0; b < batch; b++ {
 		row := out.Data[b*d.Out : (b+1)*d.Out]
 		for j := 0; j < d.Out; j++ {
@@ -55,17 +69,22 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if len(grad.Shape) != 2 || grad.Shape[1] != d.Out {
+		panic(fmt.Sprintf("nn: dense gradient shape %v, want [batch %d]", grad.Shape, d.Out))
+	}
 	x := d.lastInput
-	dW := tensor.MatMulTransA(x, grad) // [in, out]
-	d.gradW.AddInPlace(dW)
 	batch := grad.Shape[0]
+	// gradW += xᵀ·grad, accumulated element-wise onto the existing values.
+	tensor.GemmTN(d.gradW.Data, x.Data, grad.Data, d.In, batch, d.Out, true)
 	for b := 0; b < batch; b++ {
 		row := grad.Data[b*d.Out : (b+1)*d.Out]
 		for j := 0; j < d.Out; j++ {
 			d.gradB.Data[j] += row[j]
 		}
 	}
-	return tensor.MatMulTransB(grad, d.weight) // [batch, in]
+	dx := d.scratch.GetTensor(batch, d.In)
+	tensor.GemmNT(dx.Data, grad.Data, d.weight.Data, batch, d.Out, d.In, false)
+	return dx
 }
 
 // Params implements Layer.

@@ -1,0 +1,106 @@
+package nn
+
+// im2col expands one sample x ([ch, h, w], flat) into the patch matrix
+// cols ([ch*kk*kk, posH*posW], flat): cols[(c*kk+ki)*kk+kj][i*posW+j] is the
+// pixel the kernel tap (ki, kj) sees at output position (i, j), or 0 where
+// the tap falls into padding. With this layout a convolution forward pass is
+// the single product weight[outC, ch*kk*kk] · cols, and the transposed
+// convolution's backward pass is the same expansion applied to the output
+// gradient.
+func im2col(cols, x []float64, ch, h, w, kk, stride, pad, posH, posW int) {
+	posHW := posH * posW
+	for c := 0; c < ch; c++ {
+		xc := x[c*h*w : (c+1)*h*w]
+		for ki := 0; ki < kk; ki++ {
+			for kj := 0; kj < kk; kj++ {
+				row := cols[((c*kk+ki)*kk+kj)*posHW : ((c*kk+ki)*kk+kj+1)*posHW]
+				for i := 0; i < posH; i++ {
+					ih := i*stride - pad + ki
+					dst := row[i*posW : (i+1)*posW]
+					if ih < 0 || ih >= h {
+						clear(dst)
+						continue
+					}
+					src := xc[ih*w : (ih+1)*w]
+					if stride == 1 {
+						// iw = j - pad + kj; copy the contiguous valid span.
+						lo := pad - kj
+						if lo < 0 {
+							lo = 0
+						}
+						hi := w + pad - kj
+						if hi > posW {
+							hi = posW
+						}
+						if hi < lo {
+							hi = lo
+						}
+						clear(dst[:lo])
+						copy(dst[lo:hi], src[lo-pad+kj:hi-pad+kj])
+						clear(dst[hi:])
+						continue
+					}
+					for j := 0; j < posW; j++ {
+						iw := j*stride - pad + kj
+						if iw < 0 || iw >= w {
+							dst[j] = 0
+						} else {
+							dst[j] = src[iw]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// col2im scatters a patch matrix back into image space: for every kernel
+// tap and position it accumulates cols[(c*kk+ki)*kk+kj][i*posW+j] into
+// x[c][i*stride-pad+ki][j*stride-pad+kj], skipping taps in padding. x is
+// accumulated into, not overwritten; callers zero or bias-fill it first.
+// This is the adjoint of im2col, used for the convolution's input gradient
+// and the transposed convolution's forward scatter.
+func col2im(x, cols []float64, ch, h, w, kk, stride, pad, posH, posW int) {
+	posHW := posH * posW
+	for c := 0; c < ch; c++ {
+		xc := x[c*h*w : (c+1)*h*w]
+		for ki := 0; ki < kk; ki++ {
+			for kj := 0; kj < kk; kj++ {
+				row := cols[((c*kk+ki)*kk+kj)*posHW : ((c*kk+ki)*kk+kj+1)*posHW]
+				for i := 0; i < posH; i++ {
+					ih := i*stride - pad + ki
+					if ih < 0 || ih >= h {
+						continue
+					}
+					dst := xc[ih*w : (ih+1)*w]
+					src := row[i*posW : (i+1)*posW]
+					if stride == 1 {
+						lo := pad - kj
+						if lo < 0 {
+							lo = 0
+						}
+						hi := w + pad - kj
+						if hi > posW {
+							hi = posW
+						}
+						if hi < lo {
+							hi = lo
+						}
+						off := kj - pad
+						for j := lo; j < hi; j++ {
+							dst[j+off] += src[j]
+						}
+						continue
+					}
+					for j := 0; j < posW; j++ {
+						iw := j*stride - pad + kj
+						if iw < 0 || iw >= w {
+							continue
+						}
+						dst[iw] += src[j]
+					}
+				}
+			}
+		}
+	}
+}

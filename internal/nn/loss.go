@@ -10,11 +10,17 @@ import (
 // Softmax returns the row-wise softmax of logits (shape [batch, classes])
 // computed with the max-subtraction trick for numerical stability.
 func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	return softmaxPool(nil, logits)
+}
+
+// softmaxPool is Softmax with the output drawn from a scratch arena (nil
+// falls back to the heap).
+func softmaxPool(p *tensor.Pool, logits *tensor.Tensor) *tensor.Tensor {
 	if len(logits.Shape) != 2 {
 		panic(fmt.Sprintf("nn: Softmax needs rank-2 logits, got %v", logits.Shape))
 	}
 	batch, classes := logits.Shape[0], logits.Shape[1]
-	out := tensor.New(batch, classes)
+	out := p.GetTensor(batch, classes)
 	for b := 0; b < batch; b++ {
 		row := logits.Data[b*classes : (b+1)*classes]
 		orow := out.Data[b*classes : (b+1)*classes]
@@ -42,12 +48,18 @@ func Softmax(logits *tensor.Tensor) *tensor.Tensor {
 // integer labels and the gradient of that loss with respect to the logits
 // (softmax(x) − onehot, scaled by 1/batch).
 func CrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	return crossEntropyPool(nil, logits, labels)
+}
+
+// crossEntropyPool is CrossEntropy with its temporaries drawn from a
+// scratch arena (nil falls back to the heap).
+func crossEntropyPool(p *tensor.Pool, logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
 	batch, classes := logits.Shape[0], logits.Shape[1]
 	if len(labels) != batch {
 		panic(fmt.Sprintf("nn: CrossEntropy %d labels for batch %d", len(labels), batch))
 	}
-	probs := Softmax(logits)
-	grad := probs.Clone()
+	probs := softmaxPool(p, logits)
+	grad := cloneInto(p, probs)
 	loss := 0.0
 	invB := 1.0 / float64(batch)
 	for b := 0; b < batch; b++ {
@@ -55,8 +67,8 @@ func CrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor)
 		if y < 0 || y >= classes {
 			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, classes))
 		}
-		p := probs.Data[b*classes+y]
-		loss -= math.Log(math.Max(p, 1e-12))
+		pv := probs.Data[b*classes+y]
+		loss -= math.Log(math.Max(pv, 1e-12))
 		grad.Data[b*classes+y] -= 1
 	}
 	grad.ScaleInPlace(invB)
@@ -115,4 +127,22 @@ func Predict(logits *tensor.Tensor) []int {
 		out[b] = best
 	}
 	return out
+}
+
+// PredictInto is Predict writing into a caller-owned slice, for evaluation
+// loops that run allocation-free.
+func PredictInto(dst []int, logits *tensor.Tensor) []int {
+	batch, classes := logits.Shape[0], logits.Shape[1]
+	dst = dst[:0]
+	for b := 0; b < batch; b++ {
+		row := logits.Data[b*classes : (b+1)*classes]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		dst = append(dst, best)
+	}
+	return dst
 }

@@ -38,6 +38,15 @@ type Layer interface {
 // Network is an ordered sequence of layers trained end-to-end.
 type Network struct {
 	layers []Layer
+
+	// scratch, when set, is the arena the layers allocate activations and
+	// gradient temporaries from; see SetScratch.
+	scratch *tensor.Pool
+
+	// params and grads cache the flattened layer parameter/gradient slices
+	// so the per-step hot paths (optimizer, weight-vector conversion) do not
+	// allocate.
+	params, grads []*tensor.Tensor
 }
 
 // NewNetwork builds a network from the given layers.
@@ -46,7 +55,44 @@ func NewNetwork(layers ...Layer) *Network {
 }
 
 // Add appends a layer to the network.
-func (n *Network) Add(l Layer) { n.layers = append(n.layers, l) }
+func (n *Network) Add(l Layer) {
+	n.layers = append(n.layers, l)
+	n.params, n.grads = nil, nil
+	if n.scratch != nil {
+		if su, ok := l.(scratchUser); ok {
+			su.setScratch(n.scratch)
+		}
+	}
+}
+
+// scratchUser is implemented by layers that can allocate their activations
+// and temporaries from a scratch arena instead of the heap.
+type scratchUser interface {
+	setScratch(p *tensor.Pool)
+}
+
+// SetScratch attaches a scratch arena to the network: every pool-aware
+// layer allocates its activations and gradient temporaries from p instead
+// of the heap. The arena is owned by whoever drives the network (a training
+// client, an evaluator worker): it must be Reset between training steps —
+// TrainBatch does this — and anything produced by Forward/Backward is only
+// valid until that Reset. Parameters, gradients and weight vectors never
+// live in the arena. Passing nil detaches the arena.
+func (n *Network) SetScratch(p *tensor.Pool) {
+	n.scratch = p
+	for _, l := range n.layers {
+		if su, ok := l.(scratchUser); ok {
+			su.setScratch(p)
+		}
+	}
+}
+
+// Scratch returns the attached scratch arena (nil when none).
+func (n *Network) Scratch() *tensor.Pool { return n.scratch }
+
+// ResetScratch recycles the attached scratch arena, invalidating every
+// activation tensor produced since the previous reset. No-op without one.
+func (n *Network) ResetScratch() { n.scratch.Reset() }
 
 // Layers returns the network's layers in order. The returned slice is the
 // internal one; callers must not mutate it.
@@ -73,22 +119,26 @@ func (n *Network) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return g
 }
 
-// Params returns all trainable parameter tensors in layer order.
+// Params returns all trainable parameter tensors in layer order. The
+// returned slice is cached; callers must not mutate it.
 func (n *Network) Params() []*tensor.Tensor {
-	var ps []*tensor.Tensor
-	for _, l := range n.layers {
-		ps = append(ps, l.Params()...)
+	if n.params == nil {
+		for _, l := range n.layers {
+			n.params = append(n.params, l.Params()...)
+		}
 	}
-	return ps
+	return n.params
 }
 
-// Grads returns all gradient tensors aligned with Params.
+// Grads returns all gradient tensors aligned with Params. The returned
+// slice is cached; callers must not mutate it.
 func (n *Network) Grads() []*tensor.Tensor {
-	var gs []*tensor.Tensor
-	for _, l := range n.layers {
-		gs = append(gs, l.Grads()...)
+	if n.grads == nil {
+		for _, l := range n.layers {
+			n.grads = append(n.grads, l.Grads()...)
+		}
 	}
-	return gs
+	return n.grads
 }
 
 // ZeroGrads clears all accumulated parameter gradients.

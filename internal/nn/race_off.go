@@ -1,0 +1,7 @@
+//go:build !race
+
+package nn
+
+// raceEnabled reports whether the race detector is active; the zero-alloc
+// regression test skips under it because instrumentation allocates.
+const raceEnabled = false

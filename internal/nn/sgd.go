@@ -49,9 +49,14 @@ func (o *SGD) Step(n *Network) {
 // TrainBatch performs one optimization step of the network on a batch with
 // hard labels and returns the batch loss before the step. This is the local
 // training primitive used by benign clients (Eq. 1).
+//
+// When the network has a scratch arena attached, the arena is reset at
+// entry and the whole step runs without steady-state heap allocation; x
+// must therefore not itself live in the network's arena.
 func TrainBatch(n *Network, opt *SGD, x *tensor.Tensor, labels []int) float64 {
+	n.ResetScratch()
 	logits := n.Forward(x, true)
-	loss, grad := CrossEntropy(logits, labels)
+	loss, grad := crossEntropyPool(n.Scratch(), logits, labels)
 	n.Backward(grad)
 	opt.Step(n)
 	return loss

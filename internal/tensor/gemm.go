@@ -1,0 +1,504 @@
+package tensor
+
+import "fmt"
+
+// Blocked, register-tiled matrix kernels. All three product shapes
+// (A·B, Aᵀ·B, A·Bᵀ) share the same structure: the output is partitioned
+// into 4×4 register tiles, each tile accumulates over the shared dimension
+// in ascending order, and row-tile blocks are distributed over the package
+// worker pool for large problems.
+//
+// Determinism: every output element is produced by exactly one goroutine and
+// its accumulation order over the shared dimension is fixed (ascending, one
+// register chain per element), so results are bit-identical for any worker
+// count — and bit-identical to the retained naive kernels up to the sign of
+// zero (the naive loops skip zero operands, the tiled ones add ±0).
+
+// parGrainMACs is the minimum number of multiply-accumulates a worker chunk
+// should amortize before the row loop is worth fanning out.
+const parGrainMACs = 1 << 15
+
+// rowTiles returns the number of 4-row tiles covering m rows.
+func rowTiles(m int) int { return (m + 3) / 4 }
+
+// tileGrain converts the per-tile MAC count into a ParallelFor grain.
+func tileGrain(k, n int) int {
+	macs := 4 * k * n
+	if macs <= 0 {
+		return 1
+	}
+	g := parGrainMACs / macs
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+func checkRank2(op string, a, b *Tensor) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: %s needs rank-2 tensors, got %v and %v", op, a.Shape, b.Shape))
+	}
+}
+
+func checkDst(op string, dst *Tensor, m, n int) {
+	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n || len(dst.Data) != m*n {
+		panic(fmt.Sprintf("tensor: %s destination shape %v, want [%d %d]", op, dst.Shape, m, n))
+	}
+}
+
+// MatMul computes the matrix product of a (m×k) and b (k×n) into a new m×n
+// tensor. Both arguments must be rank-2.
+func MatMul(a, b *Tensor) *Tensor {
+	checkRank2("MatMul", a, b)
+	out := New(a.Shape[0], b.Shape[1])
+	return MatMulInto(out, a, b)
+}
+
+// MatMulInto computes dst = a·b where a is m×k, b is k×n and dst is a
+// preallocated m×n tensor, and returns dst. dst is overwritten.
+func MatMulInto(dst, a, b *Tensor) *Tensor {
+	checkRank2("MatMulInto", a, b)
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	checkDst("MatMulInto", dst, m, n)
+	GemmNN(dst.Data, a.Data, b.Data, m, k, n, false)
+	return dst
+}
+
+// MatMulAccInto computes dst += a·b with the shapes of MatMulInto and
+// returns dst. Each output element is accumulated onto its existing value in
+// ascending order of the shared dimension, matching element-wise incremental
+// accumulation bit for bit.
+func MatMulAccInto(dst, a, b *Tensor) *Tensor {
+	checkRank2("MatMulAccInto", a, b)
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	checkDst("MatMulAccInto", dst, m, n)
+	GemmNN(dst.Data, a.Data, b.Data, m, k, n, true)
+	return dst
+}
+
+// MatMulTransA computes aᵀ·b where a is k×m and b is k×n, yielding m×n.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	checkRank2("MatMulTransA", a, b)
+	out := New(a.Shape[1], b.Shape[1])
+	return MatMulTransAInto(out, a, b)
+}
+
+// MatMulTransAInto computes dst = aᵀ·b where a is k×m, b is k×n and dst is
+// a preallocated m×n tensor, and returns dst.
+func MatMulTransAInto(dst, a, b *Tensor) *Tensor {
+	return matMulTransAInto(dst, a, b, false)
+}
+
+// MatMulTransAAccInto computes dst += aᵀ·b with the shapes of
+// MatMulTransAInto and returns dst.
+func MatMulTransAAccInto(dst, a, b *Tensor) *Tensor {
+	return matMulTransAInto(dst, a, b, true)
+}
+
+func matMulTransAInto(dst, a, b *Tensor, acc bool) *Tensor {
+	checkRank2("MatMulTransAInto", a, b)
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA dimension mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	checkDst("MatMulTransAInto", dst, m, n)
+	GemmTN(dst.Data, a.Data, b.Data, m, k, n, acc)
+	return dst
+}
+
+// MatMulTransB computes a·bᵀ where a is m×k and b is n×k, yielding m×n.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	checkRank2("MatMulTransB", a, b)
+	out := New(a.Shape[0], b.Shape[0])
+	return MatMulTransBInto(out, a, b)
+}
+
+// MatMulTransBInto computes dst = a·bᵀ where a is m×k, b is n×k and dst is
+// a preallocated m×n tensor, and returns dst.
+func MatMulTransBInto(dst, a, b *Tensor) *Tensor {
+	return matMulTransBInto(dst, a, b, false)
+}
+
+// MatMulTransBAccInto computes dst += a·bᵀ with the shapes of
+// MatMulTransBInto and returns dst.
+func MatMulTransBAccInto(dst, a, b *Tensor) *Tensor {
+	return matMulTransBInto(dst, a, b, true)
+}
+
+func matMulTransBInto(dst, a, b *Tensor, acc bool) *Tensor {
+	checkRank2("MatMulTransBInto", a, b)
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB dimension mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	checkDst("MatMulTransBInto", dst, m, n)
+	GemmNT(dst.Data, a.Data, b.Data, m, k, n, acc)
+	return dst
+}
+
+func checkRaw(op string, c, a, b []float64, am, an, bm, bn, m, n int) {
+	if len(a) < am*an || len(b) < bm*bn || len(c) < m*n {
+		panic(fmt.Sprintf("tensor: %s slice lengths %d/%d/%d too short for %dx%d · %dx%d",
+			op, len(a), len(b), len(c), am, an, bm, bn))
+	}
+	if m <= 0 || n <= 0 {
+		panic(fmt.Sprintf("tensor: %s empty output %dx%d", op, m, n))
+	}
+}
+
+// GemmNN computes the row-major product C (m×n) = A (m×k) · B (k×n) over
+// raw slices, accumulating onto C's existing values when acc is set. The
+// raw Gemm entry points are the header-free core used by the neural-network
+// layers; the MatMul* wrappers add tensor shape checking on top.
+func GemmNN(c, a, b []float64, m, k, n int, acc bool) {
+	checkRaw("GemmNN", c, a, b, m, k, k, n, m, n)
+	if simdWorthIt(m, k, n) {
+		gemmSIMD(c, a, b, m, k, n, false, false, acc)
+		return
+	}
+	if ChunkCount(rowTiles(m), tileGrain(k, n)) <= 1 {
+		gemmNN(c, a, b, k, n, 0, m, acc) // no closure on the serial path
+		return
+	}
+	ParallelFor(rowTiles(m), tileGrain(k, n), func(lo, hi int) {
+		gemmNN(c, a, b, k, n, lo*4, min(hi*4, m), acc)
+	})
+}
+
+// GemmTN computes C (m×n) = Aᵀ·B for row-major A (k×m) and B (k×n) over
+// raw slices, accumulating onto C when acc is set.
+func GemmTN(c, a, b []float64, m, k, n int, acc bool) {
+	checkRaw("GemmTN", c, a, b, k, m, k, n, m, n)
+	if simdWorthIt(m, k, n) {
+		gemmSIMD(c, a, b, m, k, n, true, false, acc)
+		return
+	}
+	if ChunkCount(rowTiles(m), tileGrain(k, n)) <= 1 {
+		gemmTN(c, a, b, k, m, n, 0, m, acc)
+		return
+	}
+	ParallelFor(rowTiles(m), tileGrain(k, n), func(lo, hi int) {
+		gemmTN(c, a, b, k, m, n, lo*4, min(hi*4, m), acc)
+	})
+}
+
+// GemmNT computes C (m×n) = A·Bᵀ for row-major A (m×k) and B (n×k) over
+// raw slices, accumulating onto C when acc is set.
+func GemmNT(c, a, b []float64, m, k, n int, acc bool) {
+	checkRaw("GemmNT", c, a, b, m, k, n, k, m, n)
+	if simdWorthIt(m, k, n) {
+		gemmSIMD(c, a, b, m, k, n, false, true, acc)
+		return
+	}
+	if ChunkCount(rowTiles(m), tileGrain(k, n)) <= 1 {
+		gemmNT(c, a, b, k, n, 0, m, acc)
+		return
+	}
+	ParallelFor(rowTiles(m), tileGrain(k, n), func(lo, hi int) {
+		gemmNT(c, a, b, k, n, lo*4, min(hi*4, m), acc)
+	})
+}
+
+// gemmNN computes rows [i0, i1) of C = A·B (or C += A·B when acc is set)
+// for row-major A (lda = k), B (ldb = n), C (ldc = n).
+func gemmNN(c, a, b []float64, k, n, i0, i1 int, acc bool) {
+	n4 := n &^ 3
+	for i := i0; i < i1; i += 4 {
+		if i+4 <= i1 {
+			a0 := a[i*k : i*k+k]
+			a1 := a[(i+1)*k : (i+1)*k+k]
+			a2 := a[(i+2)*k : (i+2)*k+k]
+			a3 := a[(i+3)*k : (i+3)*k+k]
+			c0 := c[i*n : i*n+n]
+			c1 := c[(i+1)*n : (i+1)*n+n]
+			c2 := c[(i+2)*n : (i+2)*n+n]
+			c3 := c[(i+3)*n : (i+3)*n+n]
+			for j := 0; j < n4; j += 4 {
+				var s00, s01, s02, s03 float64
+				var s10, s11, s12, s13 float64
+				var s20, s21, s22, s23 float64
+				var s30, s31, s32, s33 float64
+				if acc {
+					s00, s01, s02, s03 = c0[j], c0[j+1], c0[j+2], c0[j+3]
+					s10, s11, s12, s13 = c1[j], c1[j+1], c1[j+2], c1[j+3]
+					s20, s21, s22, s23 = c2[j], c2[j+1], c2[j+2], c2[j+3]
+					s30, s31, s32, s33 = c3[j], c3[j+1], c3[j+2], c3[j+3]
+				}
+				for p := 0; p < k; p++ {
+					bp := b[p*n+j : p*n+j+4]
+					b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+					av := a0[p]
+					s00 += av * b0
+					s01 += av * b1
+					s02 += av * b2
+					s03 += av * b3
+					av = a1[p]
+					s10 += av * b0
+					s11 += av * b1
+					s12 += av * b2
+					s13 += av * b3
+					av = a2[p]
+					s20 += av * b0
+					s21 += av * b1
+					s22 += av * b2
+					s23 += av * b3
+					av = a3[p]
+					s30 += av * b0
+					s31 += av * b1
+					s32 += av * b2
+					s33 += av * b3
+				}
+				c0[j], c0[j+1], c0[j+2], c0[j+3] = s00, s01, s02, s03
+				c1[j], c1[j+1], c1[j+2], c1[j+3] = s10, s11, s12, s13
+				c2[j], c2[j+1], c2[j+2], c2[j+3] = s20, s21, s22, s23
+				c3[j], c3[j+1], c3[j+2], c3[j+3] = s30, s31, s32, s33
+			}
+			for j := n4; j < n; j++ {
+				var s0, s1, s2, s3 float64
+				if acc {
+					s0, s1, s2, s3 = c0[j], c1[j], c2[j], c3[j]
+				}
+				for p := 0; p < k; p++ {
+					bv := b[p*n+j]
+					s0 += a0[p] * bv
+					s1 += a1[p] * bv
+					s2 += a2[p] * bv
+					s3 += a3[p] * bv
+				}
+				c0[j], c1[j], c2[j], c3[j] = s0, s1, s2, s3
+			}
+			continue
+		}
+		for ; i < i1; i++ {
+			ar := a[i*k : i*k+k]
+			cr := c[i*n : i*n+n]
+			for j := 0; j < n4; j += 4 {
+				var s0, s1, s2, s3 float64
+				if acc {
+					s0, s1, s2, s3 = cr[j], cr[j+1], cr[j+2], cr[j+3]
+				}
+				for p := 0; p < k; p++ {
+					bp := b[p*n+j : p*n+j+4]
+					av := ar[p]
+					s0 += av * bp[0]
+					s1 += av * bp[1]
+					s2 += av * bp[2]
+					s3 += av * bp[3]
+				}
+				cr[j], cr[j+1], cr[j+2], cr[j+3] = s0, s1, s2, s3
+			}
+			for j := n4; j < n; j++ {
+				var s float64
+				if acc {
+					s = cr[j]
+				}
+				for p := 0; p < k; p++ {
+					s += ar[p] * b[p*n+j]
+				}
+				cr[j] = s
+			}
+		}
+	}
+}
+
+// gemmTN computes rows [i0, i1) of C = Aᵀ·B (or C += Aᵀ·B when acc is set)
+// for row-major A (k×m), B (k×n), C (m×n).
+func gemmTN(c, a, b []float64, k, m, n, i0, i1 int, acc bool) {
+	n4 := n &^ 3
+	for i := i0; i < i1; i += 4 {
+		if i+4 <= i1 {
+			c0 := c[i*n : i*n+n]
+			c1 := c[(i+1)*n : (i+1)*n+n]
+			c2 := c[(i+2)*n : (i+2)*n+n]
+			c3 := c[(i+3)*n : (i+3)*n+n]
+			for j := 0; j < n4; j += 4 {
+				var s00, s01, s02, s03 float64
+				var s10, s11, s12, s13 float64
+				var s20, s21, s22, s23 float64
+				var s30, s31, s32, s33 float64
+				if acc {
+					s00, s01, s02, s03 = c0[j], c0[j+1], c0[j+2], c0[j+3]
+					s10, s11, s12, s13 = c1[j], c1[j+1], c1[j+2], c1[j+3]
+					s20, s21, s22, s23 = c2[j], c2[j+1], c2[j+2], c2[j+3]
+					s30, s31, s32, s33 = c3[j], c3[j+1], c3[j+2], c3[j+3]
+				}
+				for p := 0; p < k; p++ {
+					ap := a[p*m+i : p*m+i+4]
+					bp := b[p*n+j : p*n+j+4]
+					b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+					av := ap[0]
+					s00 += av * b0
+					s01 += av * b1
+					s02 += av * b2
+					s03 += av * b3
+					av = ap[1]
+					s10 += av * b0
+					s11 += av * b1
+					s12 += av * b2
+					s13 += av * b3
+					av = ap[2]
+					s20 += av * b0
+					s21 += av * b1
+					s22 += av * b2
+					s23 += av * b3
+					av = ap[3]
+					s30 += av * b0
+					s31 += av * b1
+					s32 += av * b2
+					s33 += av * b3
+				}
+				c0[j], c0[j+1], c0[j+2], c0[j+3] = s00, s01, s02, s03
+				c1[j], c1[j+1], c1[j+2], c1[j+3] = s10, s11, s12, s13
+				c2[j], c2[j+1], c2[j+2], c2[j+3] = s20, s21, s22, s23
+				c3[j], c3[j+1], c3[j+2], c3[j+3] = s30, s31, s32, s33
+			}
+			for j := n4; j < n; j++ {
+				var s0, s1, s2, s3 float64
+				if acc {
+					s0, s1, s2, s3 = c0[j], c1[j], c2[j], c3[j]
+				}
+				for p := 0; p < k; p++ {
+					ap := a[p*m+i : p*m+i+4]
+					bv := b[p*n+j]
+					s0 += ap[0] * bv
+					s1 += ap[1] * bv
+					s2 += ap[2] * bv
+					s3 += ap[3] * bv
+				}
+				c0[j], c1[j], c2[j], c3[j] = s0, s1, s2, s3
+			}
+			continue
+		}
+		for ; i < i1; i++ {
+			cr := c[i*n : i*n+n]
+			for j := 0; j < n4; j += 4 {
+				var s0, s1, s2, s3 float64
+				if acc {
+					s0, s1, s2, s3 = cr[j], cr[j+1], cr[j+2], cr[j+3]
+				}
+				for p := 0; p < k; p++ {
+					av := a[p*m+i]
+					bp := b[p*n+j : p*n+j+4]
+					s0 += av * bp[0]
+					s1 += av * bp[1]
+					s2 += av * bp[2]
+					s3 += av * bp[3]
+				}
+				cr[j], cr[j+1], cr[j+2], cr[j+3] = s0, s1, s2, s3
+			}
+			for j := n4; j < n; j++ {
+				var s float64
+				if acc {
+					s = cr[j]
+				}
+				for p := 0; p < k; p++ {
+					s += a[p*m+i] * b[p*n+j]
+				}
+				cr[j] = s
+			}
+		}
+	}
+}
+
+// gemmNT computes rows [i0, i1) of C = A·Bᵀ (or C += A·Bᵀ when acc is set)
+// for row-major A (m×k), B (n×k), C (m×n): every output element is the dot
+// product of two contiguous rows.
+func gemmNT(c, a, b []float64, k, n, i0, i1 int, acc bool) {
+	n4 := n &^ 3
+	for i := i0; i < i1; i += 4 {
+		if i+4 <= i1 {
+			a0 := a[i*k : i*k+k]
+			a1 := a[(i+1)*k : (i+1)*k+k]
+			a2 := a[(i+2)*k : (i+2)*k+k]
+			a3 := a[(i+3)*k : (i+3)*k+k]
+			c0 := c[i*n : i*n+n]
+			c1 := c[(i+1)*n : (i+1)*n+n]
+			c2 := c[(i+2)*n : (i+2)*n+n]
+			c3 := c[(i+3)*n : (i+3)*n+n]
+			for j := 0; j < n4; j += 4 {
+				b0 := b[j*k : j*k+k]
+				b1 := b[(j+1)*k : (j+1)*k+k]
+				b2 := b[(j+2)*k : (j+2)*k+k]
+				b3 := b[(j+3)*k : (j+3)*k+k]
+				var s00, s01, s02, s03 float64
+				var s10, s11, s12, s13 float64
+				var s20, s21, s22, s23 float64
+				var s30, s31, s32, s33 float64
+				if acc {
+					s00, s01, s02, s03 = c0[j], c0[j+1], c0[j+2], c0[j+3]
+					s10, s11, s12, s13 = c1[j], c1[j+1], c1[j+2], c1[j+3]
+					s20, s21, s22, s23 = c2[j], c2[j+1], c2[j+2], c2[j+3]
+					s30, s31, s32, s33 = c3[j], c3[j+1], c3[j+2], c3[j+3]
+				}
+				for p := 0; p < k; p++ {
+					bv0, bv1, bv2, bv3 := b0[p], b1[p], b2[p], b3[p]
+					av := a0[p]
+					s00 += av * bv0
+					s01 += av * bv1
+					s02 += av * bv2
+					s03 += av * bv3
+					av = a1[p]
+					s10 += av * bv0
+					s11 += av * bv1
+					s12 += av * bv2
+					s13 += av * bv3
+					av = a2[p]
+					s20 += av * bv0
+					s21 += av * bv1
+					s22 += av * bv2
+					s23 += av * bv3
+					av = a3[p]
+					s30 += av * bv0
+					s31 += av * bv1
+					s32 += av * bv2
+					s33 += av * bv3
+				}
+				c0[j], c0[j+1], c0[j+2], c0[j+3] = s00, s01, s02, s03
+				c1[j], c1[j+1], c1[j+2], c1[j+3] = s10, s11, s12, s13
+				c2[j], c2[j+1], c2[j+2], c2[j+3] = s20, s21, s22, s23
+				c3[j], c3[j+1], c3[j+2], c3[j+3] = s30, s31, s32, s33
+			}
+			for j := n4; j < n; j++ {
+				bj := b[j*k : j*k+k]
+				var s0, s1, s2, s3 float64
+				if acc {
+					s0, s1, s2, s3 = c0[j], c1[j], c2[j], c3[j]
+				}
+				for p := 0; p < k; p++ {
+					bv := bj[p]
+					s0 += a0[p] * bv
+					s1 += a1[p] * bv
+					s2 += a2[p] * bv
+					s3 += a3[p] * bv
+				}
+				c0[j], c1[j], c2[j], c3[j] = s0, s1, s2, s3
+			}
+			continue
+		}
+		for ; i < i1; i++ {
+			ar := a[i*k : i*k+k]
+			cr := c[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				bj := b[j*k : j*k+k]
+				var s float64
+				if acc {
+					s = cr[j]
+				}
+				for p := 0; p < k; p++ {
+					s += ar[p] * bj[p]
+				}
+				cr[j] = s
+			}
+		}
+	}
+}

@@ -1,0 +1,203 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func dgemmKernel4x8(k int, a, b, c *float64)
+//
+// Computes the 4×8 register tile c += aᵀ·b over the packed panels
+//   a: [k][4]  (column of the A row-tile at each depth step)
+//   b: [k][8]  (row of the B col-tile at each depth step)
+//   c: [4][8]  contiguous, preloaded with the initial tile values.
+//
+// Accumulation runs in ascending depth order with one FMA chain per output
+// element, so results are identical for any row/col tiling of the caller.
+TEXT ·dgemmKernel4x8(SB), NOSPLIT, $0-32
+	MOVQ k+0(FP), CX
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DI
+	MOVQ c+24(FP), DX
+
+	VMOVUPD (DX), Y0
+	VMOVUPD 32(DX), Y1
+	VMOVUPD 64(DX), Y2
+	VMOVUPD 96(DX), Y3
+	VMOVUPD 128(DX), Y4
+	VMOVUPD 160(DX), Y5
+	VMOVUPD 192(DX), Y6
+	VMOVUPD 224(DX), Y7
+
+	TESTQ CX, CX
+	JZ    done
+
+loop:
+	VMOVUPD (DI), Y8        // b[p][0:4]
+	VMOVUPD 32(DI), Y9      // b[p][4:8]
+
+	VBROADCASTSD (SI), Y10  // a[p][0]
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y10, Y1
+
+	VBROADCASTSD 8(SI), Y10 // a[p][1]
+	VFMADD231PD  Y8, Y10, Y2
+	VFMADD231PD  Y9, Y10, Y3
+
+	VBROADCASTSD 16(SI), Y10 // a[p][2]
+	VFMADD231PD  Y8, Y10, Y4
+	VFMADD231PD  Y9, Y10, Y5
+
+	VBROADCASTSD 24(SI), Y10 // a[p][3]
+	VFMADD231PD  Y8, Y10, Y6
+	VFMADD231PD  Y9, Y10, Y7
+
+	ADDQ $32, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  loop
+
+done:
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VMOVUPD Y2, 64(DX)
+	VMOVUPD Y3, 96(DX)
+	VMOVUPD Y4, 128(DX)
+	VMOVUPD Y5, 160(DX)
+	VMOVUPD Y6, 192(DX)
+	VMOVUPD Y7, 224(DX)
+	VZEROUPPER
+	RET
+
+// func avxSqDistBlocks(a, b, sums *float64, blocks int)
+//
+// Accumulates the squared distance of blocks*16 elements into sums[0:4]
+// (four independent lane groups; the caller reduces and handles the tail).
+TEXT ·avxSqDistBlocks(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ sums+16(FP), DX
+	MOVQ blocks+24(FP), CX
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+
+	TESTQ CX, CX
+	JZ    sqdone
+
+sqloop:
+	VMOVUPD (SI), Y4
+	VMOVUPD 32(SI), Y5
+	VMOVUPD 64(SI), Y6
+	VMOVUPD 96(SI), Y7
+	VSUBPD  (DI), Y4, Y4
+	VSUBPD  32(DI), Y5, Y5
+	VSUBPD  64(DI), Y6, Y6
+	VSUBPD  96(DI), Y7, Y7
+	VFMADD231PD Y4, Y4, Y0
+	VFMADD231PD Y5, Y5, Y1
+	VFMADD231PD Y6, Y6, Y2
+	VFMADD231PD Y7, Y7, Y3
+	ADDQ $128, SI
+	ADDQ $128, DI
+	DECQ CX
+	JNZ  sqloop
+
+sqdone:
+	VADDPD Y1, Y0, Y0
+	VADDPD Y3, Y2, Y2
+	VADDPD Y2, Y0, Y0
+	VMOVUPD Y0, (DX)
+	VZEROUPPER
+	RET
+
+// func avxDotBlocks(a, b, sums *float64, blocks int)
+//
+// Accumulates the dot product of blocks*16 elements into sums[0:4].
+TEXT ·avxDotBlocks(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ sums+16(FP), DX
+	MOVQ blocks+24(FP), CX
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+
+	TESTQ CX, CX
+	JZ    dotdone
+
+dotloop:
+	VMOVUPD (SI), Y4
+	VMOVUPD 32(SI), Y5
+	VMOVUPD 64(SI), Y6
+	VMOVUPD 96(SI), Y7
+	VFMADD231PD (DI), Y4, Y0
+	VFMADD231PD 32(DI), Y5, Y1
+	VFMADD231PD 64(DI), Y6, Y2
+	VFMADD231PD 96(DI), Y7, Y3
+	ADDQ $128, SI
+	ADDQ $128, DI
+	DECQ CX
+	JNZ  dotloop
+
+dotdone:
+	VADDPD Y1, Y0, Y0
+	VADDPD Y3, Y2, Y2
+	VADDPD Y2, Y0, Y0
+	VMOVUPD Y0, (DX)
+	VZEROUPPER
+	RET
+
+// func avxAddBlocks(dst, src *float64, blocks int)
+//
+// dst[i] += src[i] for blocks*16 elements. Pure element-wise addition, so
+// the result is bit-identical to the scalar loop.
+TEXT ·avxAddBlocks(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), SI
+	MOVQ src+8(FP), DI
+	MOVQ blocks+16(FP), CX
+
+	TESTQ CX, CX
+	JZ    adddone
+
+addloop:
+	VMOVUPD (SI), Y4
+	VMOVUPD 32(SI), Y5
+	VMOVUPD 64(SI), Y6
+	VMOVUPD 96(SI), Y7
+	VADDPD  (DI), Y4, Y4
+	VADDPD  32(DI), Y5, Y5
+	VADDPD  64(DI), Y6, Y6
+	VADDPD  96(DI), Y7, Y7
+	VMOVUPD Y4, (SI)
+	VMOVUPD Y5, 32(SI)
+	VMOVUPD Y6, 64(SI)
+	VMOVUPD Y7, 96(SI)
+	ADDQ $128, SI
+	ADDQ $128, DI
+	DECQ CX
+	JNZ  addloop
+
+adddone:
+	VZEROUPPER
+	RET
+
+// func cpuidx(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidx(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,19 @@
+//go:build !amd64 || purego
+
+package tensor
+
+// Non-amd64 (or purego) builds always use the scalar blocked kernels.
+
+var simdOn = false
+
+func simdWorthIt(m, k, n int) bool { return false }
+
+func gemmSIMD(c, a, b []float64, m, k, n int, transA, transB, acc bool) {
+	panic("tensor: gemmSIMD unavailable")
+}
+
+func sqDistSIMD(a, b []float64) float64 { panic("tensor: sqDistSIMD unavailable") }
+
+func dotSIMD(a, b []float64) float64 { panic("tensor: dotSIMD unavailable") }
+
+func addSIMD(dst, src []float64) { panic("tensor: addSIMD unavailable") }

@@ -1,0 +1,228 @@
+//go:build amd64 && !purego
+
+package tensor
+
+import "sync"
+
+// AVX2+FMA fast path: the three product variants are lowered onto one 4×8
+// register-tile microkernel (gemm_amd64.s) over zero-padded packed panels.
+// Packing fixes the depth-ascending accumulation order per output element,
+// so the SIMD path is — like the scalar path — bit-identical for any worker
+// count; versus the scalar path it differs only by the fused rounding of
+// hardware FMA.
+
+//go:noescape
+func dgemmKernel4x8(k int, a, b, c *float64)
+
+func cpuidx(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv0() (eax, edx uint32)
+
+var simdOn = detectAVX2FMA()
+
+func detectAVX2FMA() bool {
+	maxID, _, _, _ := cpuidx(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidx(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	const fma = 1 << 12
+	if c1&osxsave == 0 || c1&avx == 0 || c1&fma == 0 {
+		return false
+	}
+	if xa, _ := xgetbv0(); xa&6 != 6 {
+		return false // OS does not save XMM/YMM state
+	}
+	_, b7, _, _ := cpuidx(7, 0)
+	return b7&(1<<5) != 0 // AVX2
+}
+
+// packBufs recycles packing panels across GEMM calls; sync.Pool keeps the
+// steady state allocation-free while staying safe for concurrent workers.
+var packBufs = sync.Pool{New: func() any { s := make([]float64, 0, 8192); return &s }}
+
+func getPackBuf(n int) *[]float64 {
+	p := packBufs.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// packB8 packs B_eff (k×n) into zero-padded 8-column panels, tile-major:
+// pb[(t2*k+p)*8+c] = B_eff[p][8*t2+c]. transB selects B_eff = bᵀ with b
+// stored n×k.
+func packB8(pb, b []float64, k, n int, transB bool) {
+	nt := (n + 7) / 8
+	if transB {
+		for t2 := 0; t2 < nt; t2++ {
+			j0 := t2 * 8
+			for c := 0; c < 8; c++ {
+				j := j0 + c
+				dst := pb[t2*k*8+c:]
+				if j >= n {
+					for p := 0; p < k; p++ {
+						dst[p*8] = 0
+					}
+					continue
+				}
+				src := b[j*k : j*k+k]
+				for p := 0; p < k; p++ {
+					dst[p*8] = src[p]
+				}
+			}
+		}
+		return
+	}
+	for t2 := 0; t2 < nt; t2++ {
+		j0 := t2 * 8
+		w := n - j0
+		if w > 8 {
+			w = 8
+		}
+		for p := 0; p < k; p++ {
+			dst := pb[(t2*k+p)*8 : (t2*k+p)*8+8]
+			src := b[p*n+j0 : p*n+j0+w]
+			copy(dst[:w], src)
+			for c := w; c < 8; c++ {
+				dst[c] = 0
+			}
+		}
+	}
+}
+
+// packA4 packs the 4-row tile starting at row i0 of A_eff (m×k) into
+// pa[p*4+r] = A_eff[i0+r][p], zero-padding rows past m. transA selects
+// A_eff = aᵀ with a stored k×m.
+func packA4(pa, a []float64, i0, m, k int, transA bool) {
+	rows := m - i0
+	if rows > 4 {
+		rows = 4
+	}
+	if transA {
+		for p := 0; p < k; p++ {
+			src := a[p*m+i0:]
+			dst := pa[p*4 : p*4+4]
+			for r := 0; r < rows; r++ {
+				dst[r] = src[r]
+			}
+			for r := rows; r < 4; r++ {
+				dst[r] = 0
+			}
+		}
+		return
+	}
+	for r := 0; r < rows; r++ {
+		src := a[(i0+r)*k : (i0+r)*k+k]
+		for p := 0; p < k; p++ {
+			pa[p*4+r] = src[p]
+		}
+	}
+	for r := rows; r < 4; r++ {
+		for p := 0; p < k; p++ {
+			pa[p*4+r] = 0
+		}
+	}
+}
+
+// gemmSIMD computes rows of C (m×n) = A_eff·B_eff via the packed 4×8
+// microkernel; acc accumulates onto the existing C values.
+func gemmSIMD(c, a, b []float64, m, k, n int, transA, transB, acc bool) {
+	nt := (n + 7) / 8
+	pbp := getPackBuf(nt * k * 8)
+	pb := *pbp
+	packB8(pb, b, k, n, transB)
+	tiles := rowTiles(m)
+	grain := tileGrain(k, n)
+	if ChunkCount(tiles, grain) <= 1 {
+		simdRowTiles(c, a, pb, m, k, n, transA, acc, 0, tiles)
+	} else {
+		ParallelFor(tiles, grain, func(lo, hi int) {
+			simdRowTiles(c, a, pb, m, k, n, transA, acc, lo, hi)
+		})
+	}
+	packBufs.Put(pbp)
+}
+
+// simdRowTiles runs the 4-row tiles [lo, hi) of the packed-panel product.
+func simdRowTiles(c, a, pb []float64, m, k, n int, transA, acc bool, lo, hi int) {
+	nt := (n + 7) / 8
+	pap := getPackBuf(k * 4)
+	pa := *pap
+	var ct [32]float64
+	for t := lo; t < hi; t++ {
+		i0 := t * 4
+		rows := m - i0
+		if rows > 4 {
+			rows = 4
+		}
+		packA4(pa, a, i0, m, k, transA)
+		for t2 := 0; t2 < nt; t2++ {
+			j0 := t2 * 8
+			w := n - j0
+			if w > 8 {
+				w = 8
+			}
+			if acc {
+				for r := 0; r < rows; r++ {
+					copy(ct[r*8:r*8+w], c[(i0+r)*n+j0:(i0+r)*n+j0+w])
+					for cc := w; cc < 8; cc++ {
+						ct[r*8+cc] = 0
+					}
+				}
+				for r := rows; r < 4; r++ {
+					for cc := 0; cc < 8; cc++ {
+						ct[r*8+cc] = 0
+					}
+				}
+			} else {
+				ct = [32]float64{}
+			}
+			dgemmKernel4x8(k, &pa[0], &pb[t2*k*8], &ct[0])
+			for r := 0; r < rows; r++ {
+				copy(c[(i0+r)*n+j0:(i0+r)*n+j0+w], ct[r*8:r*8+w])
+			}
+		}
+	}
+	packBufs.Put(pap)
+}
+
+// simdWorthIt reports whether the packing overhead of the SIMD path is
+// amortized for this problem shape.
+func simdWorthIt(m, k, n int) bool {
+	return simdOn && m*k*n >= 2048
+}
+
+//go:noescape
+func avxSqDistBlocks(a, b, sums *float64, blocks int)
+
+//go:noescape
+func avxDotBlocks(a, b, sums *float64, blocks int)
+
+//go:noescape
+func avxAddBlocks(dst, src *float64, blocks int)
+
+func sqDistSIMD(a, b []float64) float64 {
+	blocks := len(a) >> 4
+	var sums [4]float64
+	avxSqDistBlocks(&a[0], &b[0], &sums[0], blocks)
+	s := ((sums[0] + sums[1]) + sums[2]) + sums[3]
+	return s + sqDistScalar(a, b, blocks<<4)
+}
+
+func dotSIMD(a, b []float64) float64 {
+	blocks := len(a) >> 4
+	var sums [4]float64
+	avxDotBlocks(&a[0], &b[0], &sums[0], blocks)
+	s := ((sums[0] + sums[1]) + sums[2]) + sums[3]
+	return s + dotScalar(a, b, blocks<<4)
+}
+
+func addSIMD(dst, src []float64) {
+	blocks := len(dst) >> 4
+	avxAddBlocks(&dst[0], &src[0], blocks)
+	addScalar(dst, src, blocks<<4)
+}

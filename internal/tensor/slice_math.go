@@ -1,0 +1,85 @@
+package tensor
+
+// Flat-slice math kernels shared by the vector layer: squared distance and
+// dot product (SIMD-accelerated where available, falling back to unrolled
+// scalar loops) and element-wise addition (bit-identical on every path).
+// These are the primitives the shared distance-matrix service and the
+// aggregation rules are built on.
+
+import "fmt"
+
+func checkSameLen(op string, a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: %s length mismatch %d vs %d", op, len(a), len(b)))
+	}
+}
+
+// SqDistSlice returns the squared Euclidean distance between a and b.
+func SqDistSlice(a, b []float64) float64 {
+	checkSameLen("SqDistSlice", a, b)
+	if simdOn && len(a) >= 64 {
+		return sqDistSIMD(a, b)
+	}
+	return sqDistScalar(a, b, 0)
+}
+
+// DotSlice returns the inner product of a and b.
+func DotSlice(a, b []float64) float64 {
+	checkSameLen("DotSlice", a, b)
+	if simdOn && len(a) >= 64 {
+		return dotSIMD(a, b)
+	}
+	return dotScalar(a, b, 0)
+}
+
+// AddSlice performs dst += src element-wise. The SIMD and scalar paths are
+// bit-identical: addition is purely element-wise.
+func AddSlice(dst, src []float64) {
+	checkSameLen("AddSlice", dst, src)
+	if simdOn && len(dst) >= 64 {
+		addSIMD(dst, src)
+		return
+	}
+	addScalar(dst, src, 0)
+}
+
+// sqDistScalar accumulates the squared distance of a[i:] vs b[i:] with four
+// independent chains.
+func sqDistScalar(a, b []float64, i int) float64 {
+	var s0, s1, s2, s3 float64
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return ((s0 + s1) + s2) + s3
+}
+
+func dotScalar(a, b []float64, i int) float64 {
+	var s0, s1, s2, s3 float64
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return ((s0 + s1) + s2) + s3
+}
+
+func addScalar(dst, src []float64, i int) {
+	for ; i < len(dst); i++ {
+		dst[i] += src[i]
+	}
+}

@@ -1,0 +1,119 @@
+// The shared distance-matrix service: every consumer of pairwise update
+// geometry — the Krum-family scorers, Bulyan's iterative selection,
+// FoolsGold's similarity matrix, the Min-Max/Min-Sum attack bounds —
+// computes the round's n×n matrix once through these helpers instead of
+// re-deriving O(n²·d) distances per use. Rows are fanned out over the
+// tensor worker pool; per-element accumulation order is fixed, so results
+// do not depend on the worker count.
+package vec
+
+import (
+	"repro/internal/tensor"
+)
+
+// pairRange visits the strict upper triangle of an n×n matrix in parallel:
+// fn(i, j) is called exactly once per pair i < j. Pairs are flattened so
+// the fan-out is balanced even though early rows hold more pairs.
+func pairRange(n int, fn func(i, j int)) {
+	pairs := n * (n - 1) / 2
+	if pairs <= 0 {
+		return
+	}
+	tensor.ParallelFor(pairs, 8, func(lo, hi int) {
+		// Recover (i, j) from the flattened pair index: pairs are laid out
+		// row-major over the upper triangle.
+		i, base := 0, 0
+		for base+(n-1-i) <= lo {
+			base += n - 1 - i
+			i++
+		}
+		j := i + 1 + (lo - base)
+		for p := lo; p < hi; p++ {
+			fn(i, j)
+			j++
+			if j == n {
+				i++
+				j = i + 1
+			}
+		}
+	})
+}
+
+// SqDistMatrix returns the symmetric n×n matrix of pairwise squared
+// Euclidean distances between the vectors, with zeros on the diagonal.
+// The backing storage is one contiguous allocation.
+//
+// For high-dimensional vectors the computation is blocked over the
+// dimension: every block of all n vectors is brought into cache once and
+// all pairs consume it, so each element is streamed from memory once
+// rather than once per pair. Each pair accumulates its block partials in
+// ascending dimension order, so the result does not depend on the worker
+// count.
+func SqDistMatrix(vs [][]float64) [][]float64 {
+	n := len(vs)
+	m := newSquare(n)
+	if n < 2 {
+		return m
+	}
+	const dBlock = 4096
+	dim := len(vs[0])
+	if dim <= 2*dBlock {
+		pairRange(n, func(i, j int) {
+			d := tensor.SqDistSlice(vs[i], vs[j])
+			m[i][j] = d
+			m[j][i] = d
+		})
+		return m
+	}
+	for d0 := 0; d0 < dim; d0 += dBlock {
+		d1 := d0 + dBlock
+		if d1 > dim {
+			d1 = dim
+		}
+		pairRange(n, func(i, j int) {
+			m[i][j] += tensor.SqDistSlice(vs[i][d0:d1], vs[j][d0:d1])
+		})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m[j][i] = m[i][j]
+		}
+	}
+	return m
+}
+
+// CosineMatrix returns the symmetric n×n matrix of pairwise cosine
+// similarities (1 on the diagonal, 0 against zero vectors), computing every
+// norm once instead of once per pair.
+func CosineMatrix(vs [][]float64) [][]float64 {
+	n := len(vs)
+	norms := make([]float64, n)
+	tensor.ParallelFor(n, 2, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			norms[i] = Norm2(vs[i])
+		}
+	})
+	m := newSquare(n)
+	for i := range m {
+		m[i][i] = 1
+	}
+	pairRange(n, func(i, j int) {
+		var s float64
+		if norms[i] != 0 && norms[j] != 0 {
+			s = tensor.DotSlice(vs[i], vs[j]) / (norms[i] * norms[j])
+		}
+		m[i][j] = s
+		m[j][i] = s
+	})
+	return m
+}
+
+// newSquare allocates an n×n matrix over one contiguous backing slice.
+func newSquare(n int) [][]float64 {
+	backing := make([]float64, n*n)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = backing[i*n : (i+1)*n]
+	}
+	return m
+}

@@ -1,0 +1,92 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func randVecs(rng *rand.Rand, n, dim int) [][]float64 {
+	vs := make([][]float64, n)
+	for i := range vs {
+		vs[i] = make([]float64, dim)
+		for j := range vs[i] {
+			vs[i][j] = rng.NormFloat64()
+		}
+	}
+	return vs
+}
+
+// TestSqDistMatrixMatchesNaive checks the parallel unrolled matrix against
+// the sequential per-pair reference across sizes, including dimensions not
+// divisible by the unroll factor.
+func TestSqDistMatrixMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ n, dim int }{{1, 5}, {2, 1}, {3, 7}, {10, 1003}, {17, 64}} {
+		vs := randVecs(rng, tc.n, tc.dim)
+		m := SqDistMatrix(vs)
+		for i := 0; i < tc.n; i++ {
+			if m[i][i] != 0 {
+				t.Fatalf("n=%d dim=%d: diagonal [%d] = %v", tc.n, tc.dim, i, m[i][i])
+			}
+			for j := 0; j < tc.n; j++ {
+				want := SqDist(vs[i], vs[j])
+				scale := math.Max(1, want)
+				if math.Abs(m[i][j]-want)/scale > 1e-9 {
+					t.Fatalf("n=%d dim=%d: [%d][%d] = %v, want %v", tc.n, tc.dim, i, j, m[i][j], want)
+				}
+				if m[i][j] != m[j][i] {
+					t.Fatalf("matrix not symmetric at [%d][%d]", i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestCosineMatrixMatchesNaive checks the shared cosine matrix against the
+// per-pair definition.
+func TestCosineMatrixMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vs := randVecs(rng, 9, 131)
+	vs[4] = make([]float64, 131) // zero vector edge case
+	m := CosineMatrix(vs)
+	for i := range vs {
+		for j := range vs {
+			var want float64
+			if i == j {
+				want = 1
+			} else {
+				na, nb := Norm2(vs[i]), Norm2(vs[j])
+				if na != 0 && nb != 0 {
+					want = Dot(vs[i], vs[j]) / (na * nb)
+				}
+			}
+			if math.Abs(m[i][j]-want) > 1e-9 {
+				t.Fatalf("[%d][%d] = %v, want %v", i, j, m[i][j], want)
+			}
+		}
+	}
+}
+
+// TestSqDistMatrixWorkerInvariance asserts the matrix is bit-identical for
+// any worker count.
+func TestSqDistMatrixWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vs := randVecs(rng, 12, 501)
+	defer tensor.SetWorkers(0)
+	tensor.SetWorkers(1)
+	ref := SqDistMatrix(vs)
+	for _, w := range []int{2, 5, 16} {
+		tensor.SetWorkers(w)
+		got := SqDistMatrix(vs)
+		for i := range ref {
+			for j := range ref[i] {
+				if got[i][j] != ref[i][j] {
+					t.Fatalf("workers=%d: [%d][%d] differs", w, i, j)
+				}
+			}
+		}
+	}
+}

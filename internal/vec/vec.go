@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/tensor"
 )
 
 // Clone returns a copy of v.
@@ -100,7 +102,8 @@ func SqDist(a, b []float64) float64 {
 }
 
 // Mean returns the coordinate-wise mean of the given vectors. It panics if
-// vs is empty or lengths differ.
+// vs is empty or lengths differ. The accumulation runs on the element-wise
+// add kernel, which is bit-identical to the plain loop.
 func Mean(vs [][]float64) []float64 {
 	if len(vs) == 0 {
 		panic("vec: Mean of zero vectors")
@@ -108,9 +111,7 @@ func Mean(vs [][]float64) []float64 {
 	out := make([]float64, len(vs[0]))
 	for _, v := range vs {
 		mustSameLen("Mean", out, v)
-		for i := range v {
-			out[i] += v[i]
-		}
+		tensor.AddSlice(out, v)
 	}
 	inv := 1.0 / float64(len(vs))
 	for i := range out {
@@ -165,6 +166,25 @@ func Std(vs [][]float64) []float64 {
 	return out
 }
 
+// SortSmall orders a slice sized like a federated round's per-coordinate
+// column: insertion sort for small counts (where it beats the library
+// sort's overhead across millions of coordinates), the library sort beyond
+// that. Shared by the coordinate-wise aggregation rules.
+func SortSmall(col []float64) {
+	if len(col) > 32 {
+		sort.Float64s(col)
+		return
+	}
+	for i := 1; i < len(col); i++ {
+		v := col[i]
+		j := i - 1
+		for ; j >= 0 && col[j] > v; j-- {
+			col[j+1] = col[j]
+		}
+		col[j+1] = v
+	}
+}
+
 // Median returns the coordinate-wise median of the given vectors. For an
 // even count it averages the two middle values, matching the convention of
 // Yin et al.'s coordinate-wise median aggregation.
@@ -179,7 +199,7 @@ func Median(vs [][]float64) []float64 {
 		for k, v := range vs {
 			col[k] = v[i]
 		}
-		sort.Float64s(col)
+		SortSmall(col)
 		if n%2 == 1 {
 			out[i] = col[n/2]
 		} else {
@@ -207,7 +227,7 @@ func TrimmedMean(vs [][]float64, trim int) []float64 {
 		for k, v := range vs {
 			col[k] = v[i]
 		}
-		sort.Float64s(col)
+		SortSmall(col)
 		s := 0.0
 		for k := trim; k < n-trim; k++ {
 			s += col[k]
@@ -261,11 +281,13 @@ func Unit(v []float64) []float64 {
 
 // MaxPairwiseSqDist returns the maximum squared Euclidean distance between
 // any two of the given vectors. It returns 0 for fewer than two vectors.
+// The pairwise matrix comes from the shared distance-matrix service, so
+// the distances are computed in parallel and only once.
 func MaxPairwiseSqDist(vs [][]float64) float64 {
 	maxD := 0.0
-	for i := 0; i < len(vs); i++ {
-		for j := i + 1; j < len(vs); j++ {
-			if d := SqDist(vs[i], vs[j]); d > maxD {
+	for _, row := range SqDistMatrix(vs) {
+		for _, d := range row {
+			if d > maxD {
 				maxD = d
 			}
 		}

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/report"
+	"repro/internal/tensor"
 )
 
 // Config is a single-simulation configuration; see the field documentation
@@ -48,7 +49,8 @@ type Profile = experiment.Profile
 type ProgressEvent = experiment.ProgressEvent
 
 // RunOptions configures RunExperimentOpts beyond the profile: a durable
-// run store for crash-resumable sweeps and a streaming progress callback.
+// run store for crash-resumable sweeps, a streaming progress callback and
+// the kernel worker-pool width.
 type RunOptions struct {
 	// Profile names the scaling profile ("quick" or "full"; "" = quick).
 	Profile string
@@ -60,7 +62,17 @@ type RunOptions struct {
 	Resume bool
 	// Progress, when non-nil, receives one event per completed cell.
 	Progress func(ProgressEvent)
+	// Threads pins the kernel worker-pool size (see SetThreads); 0 keeps
+	// the current setting (default: GOMAXPROCS).
+	Threads int
 }
+
+// SetThreads pins the process-global kernel worker-pool size: the bound on
+// concurrent goroutines across the blocked GEMM kernels, convolution batch
+// fan-out, client training, evaluation and defense scoring. n <= 0 resets
+// to GOMAXPROCS. Thread count never changes results, only wall-clock — use
+// it to pin sweeps on shared machines.
+func SetThreads(n int) { tensor.SetWorkers(n) }
 
 // NewRunner returns a fresh experiment runner with an empty clean-baseline
 // cache.
@@ -78,6 +90,9 @@ func RunConfig(cfg Config) (*Outcome, error) {
 func RunConfigOpts(cfg Config, opts RunOptions) (*Outcome, error) {
 	if opts.Resume && opts.StorePath == "" {
 		return nil, fmt.Errorf("repro: Resume requires StorePath")
+	}
+	if opts.Threads > 0 {
+		SetThreads(opts.Threads)
 	}
 	runner := experiment.NewRunner()
 	runner.Progress = opts.Progress
@@ -136,6 +151,9 @@ func RunExperimentOpts(id string, opts RunOptions, w io.Writer) error {
 	}
 	if opts.Resume && opts.StorePath == "" {
 		return fmt.Errorf("repro: Resume requires StorePath")
+	}
+	if opts.Threads > 0 {
+		SetThreads(opts.Threads)
 	}
 	runner := experiment.NewRunner()
 	runner.AverageSeeds = profile.SeedCount
