@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/defense"
+	"repro/internal/experiment"
 	"repro/internal/fl"
 	"repro/internal/flnet"
 	"repro/internal/nn"
@@ -46,11 +47,47 @@ func run(args []string) error {
 	refPerClass := fs.Int("ref-per-class", 20, "REFD reference samples per class")
 	rejectX := fs.Int("reject", 2, "REFD rejections per round")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-round client deadline")
+	handshake := fs.Duration("handshake-timeout", 5*time.Second, "per-connection join handshake deadline")
+	acceptTimeout := fs.Duration("accept-timeout", 0, "overall join-phase deadline (0 = wait forever)")
 	seed := fs.Int64("seed", 1, "random seed")
 	checkpoint := fs.String("checkpoint", "", "path for atomic per-round global-model checkpoints (empty = off)")
+	sampler := fs.String("sampler", "uniform", "per-round selection: uniform (K of N), bernoulli (per-client probability)")
+	sampleRate := fs.Float64("sample-rate", 0, "bernoulli participation probability (0 = K/N)")
+	dropout := fs.Float64("dropout", 0, "simulated per-selection dropout probability")
+	straggler := fs.Float64("straggler", 0, "simulated per-selection deadline-miss probability")
+	serverOpt := fs.String("server-opt", "plain", "server optimizer: plain, lr, fedavgm")
+	serverLR := fs.Float64("server-lr", 0, "server learning rate for -server-opt lr/fedavgm (0 = 1)")
+	serverMomentum := fs.Float64("server-momentum", 0, "FedAvgM velocity decay (0 = 0.9)")
+	asyncBuffer := fs.Int("async-buffer", 0, "FedBuff-style async aggregation buffer size B (0 = synchronous)")
+	asyncDelay := fs.Int("async-delay", 0, "max simulated update arrival delay in rounds for async mode (0 = 2)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// The scenario flags share experiment.Config's normalization and
+	// mapping, so flsim and flserver cannot drift. Weighted sampling needs
+	// per-client shard sizes, which only the clients know in the networked
+	// deployment, so it stays simulator-only.
+	scfg := experiment.Config{
+		Dataset:        *dsName,
+		TotalClients:   *clients,
+		PerRound:       *perRound,
+		Sampler:        *sampler,
+		SampleRate:     *sampleRate,
+		DropoutProb:    *dropout,
+		StragglerProb:  *straggler,
+		ServerOpt:      *serverOpt,
+		ServerLR:       *serverLR,
+		ServerMomentum: *serverMomentum,
+		AsyncBuffer:    *asyncBuffer,
+		AsyncMaxDelay:  *asyncDelay,
+	}
+	if err := scfg.Normalize(); err != nil {
+		return err
+	}
+	if scfg.Sampler == "weighted" {
+		return fmt.Errorf("weighted sampling needs client shard sizes the networked server does not know; use uniform or bernoulli")
+	}
+	scenario := experiment.BuildScenario(scfg, nil)
 
 	spec, err := dataset.SpecByName(*dsName)
 	if err != nil {
@@ -77,14 +114,17 @@ func run(args []string) error {
 	}
 
 	srv, err := flnet.NewServer(flnet.ServerConfig{
-		MinClients:     *clients,
-		PerRound:       *perRound,
-		Rounds:         *rounds,
-		RoundTimeout:   *timeout,
-		Seed:           *seed,
-		CheckpointPath: *checkpoint,
-		DatasetName:    spec.Name,
-		ModelName:      "paper-cnn",
+		MinClients:       *clients,
+		PerRound:         *perRound,
+		Rounds:           *rounds,
+		RoundTimeout:     *timeout,
+		HandshakeTimeout: *handshake,
+		AcceptTimeout:    *acceptTimeout,
+		Seed:             *seed,
+		CheckpointPath:   *checkpoint,
+		DatasetName:      spec.Name,
+		ModelName:        "paper-cnn",
+		Scenario:         scenario,
 	}, agg, newModel, test)
 	if err != nil {
 		return err
@@ -107,7 +147,12 @@ func run(args []string) error {
 		if !math.IsNaN(rr.Accuracy) {
 			acc = fmt.Sprintf("%.4f", rr.Accuracy)
 		}
-		fmt.Printf("round %3d  responded %d  accuracy %s\n", rr.Round+1, rr.Responded, acc)
+		churn := ""
+		if rr.Dropped+rr.Straggled > 0 {
+			churn = fmt.Sprintf("  dropped %d  straggled %d", rr.Dropped, rr.Straggled)
+		}
+		fmt.Printf("round %3d  selected %d  responded %d%s  accuracy %s\n",
+			rr.Round+1, rr.Selected, rr.Responded, churn, acc)
 	}
 	fmt.Printf("final accuracy %.4f (max %.4f)\n", res.FinalAccuracy, res.MaxAccuracy)
 	return nil

@@ -6,6 +6,8 @@
 //
 //	flsim -dataset cifar-sim -attack dfa-g -defense bulyan -beta 0.5 -rounds 20
 //	flsim -attack dfa-r -store run.jsonl -resume   # free re-print of a journaled run
+//	flsim -sampler bernoulli -dropout 0.2 -server-opt fedavgm   # cross-device churn
+//	flsim -async-buffer 5 -async-delay 2           # FedBuff-style buffered aggregation
 package main
 
 import (
@@ -41,6 +43,16 @@ func run(args []string) error {
 	fs.Int64Var(&cfg.Seed, "seed", 1, "random seed")
 	fs.IntVar(&cfg.EvalLimit, "eval-limit", 500, "test samples per evaluation (0 = all)")
 	fs.BoolVar(&cfg.NoReg, "no-reg", false, "disable the distance-based regularization L_d")
+	fs.StringVar(&cfg.Partition, "partition", "label", "shard assignment: label (Dirichlet label skew / i.i.d. by beta), quantity (Dirichlet shard-size skew)")
+	fs.StringVar(&cfg.Sampler, "sampler", "uniform", "per-round selection: uniform (K of N), bernoulli (per-client probability), weighted (by shard size)")
+	fs.Float64Var(&cfg.SampleRate, "sample-rate", 0, "bernoulli participation probability (0 = K/N)")
+	fs.Float64Var(&cfg.DropoutProb, "dropout", 0, "per-selection probability a client is unavailable for the round")
+	fs.Float64Var(&cfg.StragglerProb, "straggler", 0, "per-selection probability a client misses the round deadline")
+	fs.StringVar(&cfg.ServerOpt, "server-opt", "plain", "server optimizer: plain, lr (server learning rate), fedavgm (server momentum)")
+	fs.Float64Var(&cfg.ServerLR, "server-lr", 0, "server learning rate for -server-opt lr/fedavgm (0 = 1)")
+	fs.Float64Var(&cfg.ServerMomentum, "server-momentum", 0, "FedAvgM velocity decay (0 = 0.9)")
+	fs.IntVar(&cfg.AsyncBuffer, "async-buffer", 0, "FedBuff-style async aggregation buffer size B (0 = synchronous rounds)")
+	fs.IntVar(&cfg.AsyncMaxDelay, "async-delay", 0, "max simulated update arrival delay in rounds for async mode (0 = 2)")
 	storePath := fs.String("store", "", "JSONL run-store path; the completed run is journaled for resume (empty = off)")
 	resume := fs.Bool("resume", false, "replay the run from -store if already journaled instead of recomputing it")
 	threads := fs.Int("threads", 0, "kernel worker-pool size for training/defense compute (0 = GOMAXPROCS); never changes results")
@@ -63,6 +75,23 @@ func run(args []string) error {
 		if !math.IsNaN(acc) {
 			fmt.Printf("round %3d  accuracy %.4f\n", i+1, acc)
 		}
+	}
+	var selected, dropped, straggled, responded, aggs int
+	for _, rs := range out.Trace {
+		selected += rs.Selected
+		dropped += rs.Dropped
+		straggled += rs.Straggled
+		responded += rs.Responded
+		aggs += rs.Aggregations
+	}
+	// The normalized config canonicalizes the legacy sampler to "".
+	samplerName := out.Config.Sampler
+	if samplerName == "" {
+		samplerName = "uniform"
+	}
+	if dropped+straggled > 0 || out.Config.AsyncBuffer > 0 || out.Config.Sampler != "" {
+		fmt.Printf("participation: sampler=%s selected=%d dropped=%d straggled=%d responded=%d aggregations=%d\n",
+			samplerName, selected, dropped, straggled, responded, aggs)
 	}
 	dpr := "N/A"
 	if !math.IsNaN(out.DPR) {

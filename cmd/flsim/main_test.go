@@ -1,0 +1,110 @@
+package main
+
+// Acceptance tests for the new scenario axes: flsim must reach the
+// production-participation cells end-to-end (config → experiment →
+// engine), deterministically, with a participation trace and a real final
+// accuracy.
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro"
+)
+
+// tinyCell is a cell that exercises the full flsim pipeline in
+// milliseconds.
+func tinyCell() repro.Config {
+	return repro.Config{
+		Dataset:      "tiny-sim",
+		Attack:       "signflip",
+		Defense:      "mkrum",
+		Beta:         0.5,
+		Seed:         1,
+		TotalClients: 10,
+		PerRound:     4,
+		Rounds:       4,
+		EvalLimit:    40,
+		SampleCount:  4,
+		Parallel:     true,
+	}
+}
+
+// TestBernoulliChurnFedAvgMCell pins the first acceptance scenario:
+// Bernoulli sampling + dropout + FedAvgM runs end-to-end through the flsim
+// entry point with a deterministic, internally consistent participation
+// trace and a non-NaN final accuracy.
+func TestBernoulliChurnFedAvgMCell(t *testing.T) {
+	cfg := tinyCell()
+	cfg.Sampler = "bernoulli"
+	cfg.SampleRate = 0.5
+	cfg.DropoutProb = 0.3
+	cfg.StragglerProb = 0.1
+	cfg.ServerOpt = "fedavgm"
+
+	out, err := runConfig(cfg, "", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(out.FinalAcc) {
+		t.Fatal("final accuracy is NaN")
+	}
+	if len(out.Trace) != cfg.Rounds {
+		t.Fatalf("trace has %d rounds, want %d", len(out.Trace), cfg.Rounds)
+	}
+	lost := 0
+	for _, rs := range out.Trace {
+		if rs.Responded != rs.Selected-rs.Dropped-rs.Straggled {
+			t.Fatalf("round %d: inconsistent trace %+v", rs.Round, rs)
+		}
+		lost += rs.Dropped + rs.Straggled
+	}
+	if lost == 0 {
+		t.Fatal("churn scenario produced no dropped/straggled clients")
+	}
+
+	again, err := runConfig(cfg, "", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Trace, again.Trace) {
+		t.Fatal("participation trace is not deterministic under a fixed seed")
+	}
+	if out.FinalAcc != again.FinalAcc {
+		t.Fatal("final accuracy is not deterministic under a fixed seed")
+	}
+}
+
+// TestAsyncBufferedCell pins the second acceptance scenario: an
+// async-buffered cell runs end-to-end through the flsim entry point,
+// aggregating on buffer fills, deterministically, with a non-NaN final
+// accuracy.
+func TestAsyncBufferedCell(t *testing.T) {
+	cfg := tinyCell()
+	cfg.AsyncBuffer = 3
+	cfg.AsyncMaxDelay = 2
+
+	out, err := runConfig(cfg, "", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(out.FinalAcc) {
+		t.Fatal("final accuracy is NaN")
+	}
+	totalAggs := 0
+	for _, rs := range out.Trace {
+		totalAggs += rs.Aggregations
+	}
+	if totalAggs == 0 {
+		t.Fatal("async cell never aggregated")
+	}
+
+	again, err := runConfig(cfg, "", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Trace, again.Trace) {
+		t.Fatal("async trace is not deterministic under a fixed seed")
+	}
+}

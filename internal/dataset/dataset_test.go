@@ -259,6 +259,90 @@ func TestDirichletHeterogeneityMonotone(t *testing.T) {
 	}
 }
 
+func TestPartitionQuantityCoversAllSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	shards := PartitionQuantity(rng, 500, 20, 0.5)
+	seen := make(map[int]bool)
+	for _, s := range shards {
+		for _, idx := range s {
+			if idx < 0 || idx >= 500 {
+				t.Fatalf("index %d out of range", idx)
+			}
+			if seen[idx] {
+				t.Fatalf("index %d assigned twice", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if len(seen) != 500 {
+		t.Fatalf("covered %d samples, want 500", len(seen))
+	}
+	for c, s := range shards {
+		if len(s) == 0 {
+			t.Fatalf("client %d has no samples after rebalancing", c)
+		}
+	}
+}
+
+// TestPartitionQuantityHeterogeneityMonotone verifies the quantity-skew
+// analogue of the Dirichlet monotonicity property: lower beta concentrates
+// the data on few clients, leaving many tiny shards whose label
+// distributions deviate more from the global one, so HeterogeneityIndex
+// rises as beta falls. It also checks the size skew directly.
+func TestPartitionQuantityHeterogeneityMonotone(t *testing.T) {
+	labels := make([]int, 2000)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	stats := func(beta float64) (hi, maxShare float64) {
+		sumHI, sumShare := 0.0, 0.0
+		for seed := int64(0); seed < 3; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			shards := PartitionQuantity(rng, len(labels), 50, beta)
+			sumHI += HeterogeneityIndex(labels, shards, 10)
+			largest := 0
+			for _, s := range shards {
+				if len(s) > largest {
+					largest = len(s)
+				}
+			}
+			sumShare += float64(largest) / float64(len(labels))
+		}
+		return sumHI / 3, sumShare / 3
+	}
+	h005, share005 := stats(0.05)
+	h05, share05 := stats(0.5)
+	h100, share100 := stats(100)
+	if !(h005 > h05 && h05 > h100) {
+		t.Fatalf("quantity-skew heterogeneity not monotone in beta: h(0.05)=%.3f h(0.5)=%.3f h(100)=%.3f",
+			h005, h05, h100)
+	}
+	if !(share005 > share05 && share05 > share100) {
+		t.Fatalf("largest-shard share not monotone in beta: %.3f, %.3f, %.3f",
+			share005, share05, share100)
+	}
+	if share100 > 0.1 {
+		t.Errorf("beta=100 should be near-balanced, largest share %.3f", share100)
+	}
+}
+
+func TestPartitionQuantityInvalidArgsPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for name, f := range map[string]func(){
+		"clients": func() { PartitionQuantity(rng, 10, 0, 0.5) },
+		"beta":    func() { PartitionQuantity(rng, 10, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
 func TestSampleDirichletIsDistribution(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))

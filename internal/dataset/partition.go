@@ -73,6 +73,44 @@ func PartitionDirichlet(rng *rand.Rand, labels []int, numClients int, beta float
 	return shards
 }
 
+// PartitionQuantity assigns sample indices to clients following the
+// quantity-skew protocol: one proportion vector over clients is drawn from
+// Dirichlet(beta) and a random permutation of all samples is sliced
+// accordingly, so clients differ in how much data they hold rather than in
+// which labels they hold (the complement of PartitionDirichlet's label
+// skew). Lower beta means more extreme size imbalance. Clients that end up
+// empty receive one sample stolen from the largest client so the training
+// loop never sees an empty shard.
+func PartitionQuantity(rng *rand.Rand, n, numClients int, beta float64) [][]int {
+	if numClients <= 0 {
+		panic(fmt.Sprintf("dataset: numClients %d must be positive", numClients))
+	}
+	if beta <= 0 {
+		panic(fmt.Sprintf("dataset: Dirichlet beta %v must be positive", beta))
+	}
+	perm := rng.Perm(n)
+	props := SampleDirichlet(rng, numClients, beta)
+	shards := make([][]int, numClients)
+	start := 0
+	cum := 0.0
+	for c := 0; c < numClients; c++ {
+		cum += props[c]
+		end := int(math.Round(cum * float64(n)))
+		if c == numClients-1 {
+			end = n
+		}
+		if end > n {
+			end = n
+		}
+		if end > start {
+			shards[c] = append(shards[c], perm[start:end]...)
+		}
+		start = end
+	}
+	rebalanceEmpty(rng, shards)
+	return shards
+}
+
 // rebalanceEmpty moves one sample from the largest shard into every empty
 // shard.
 func rebalanceEmpty(rng *rand.Rand, shards [][]int) {

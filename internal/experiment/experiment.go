@@ -71,6 +71,41 @@ type Config struct {
 
 	// Parallel trains the selected clients of a round concurrently.
 	Parallel bool
+
+	// The participation axes below canonicalize their legacy default to the
+	// zero value ("label", "uniform", "plain" normalize to "") and carry
+	// omitempty JSON tags, so a legacy-shaped config marshals — and hashes
+	// into run-store keys — exactly as it did before the engine existed.
+
+	// Partition selects the shard assignment protocol: "" or "label" (the
+	// paper's Dirichlet label skew when Beta > 0, i.i.d. otherwise) or
+	// "quantity" (Dirichlet shard-size skew, requires Beta > 0).
+	Partition string `json:",omitempty"`
+	// Sampler selects per-round participation: "" or "uniform" (K of N,
+	// the paper's shape), "bernoulli" (each client independently with
+	// probability SampleRate) or "weighted" (K of N, probability
+	// proportional to shard size).
+	Sampler string `json:",omitempty"`
+	// SampleRate is the Bernoulli participation probability (0 = K/N).
+	SampleRate float64 `json:",omitempty"`
+	// DropoutProb and StragglerProb simulate cross-device churn: each
+	// selected client is unavailable (never trains) or misses the round
+	// deadline (trains, update discarded) with these probabilities.
+	DropoutProb   float64 `json:",omitempty"`
+	StragglerProb float64 `json:",omitempty"`
+	// ServerOpt post-processes the aggregate: "" or "plain" (the paper's
+	// behaviour), "lr" (server learning rate ServerLR) or "fedavgm"
+	// (server momentum with rate ServerLR and decay ServerMomentum).
+	ServerOpt string `json:",omitempty"`
+	// ServerLR is the server learning rate (0 = 1 for lr/fedavgm).
+	ServerLR float64 `json:",omitempty"`
+	// ServerMomentum is FedAvgM's velocity decay (0 = 0.9).
+	ServerMomentum float64 `json:",omitempty"`
+	// AsyncBuffer > 0 enables FedBuff-style buffered async aggregation
+	// with buffer size B; AsyncMaxDelay bounds the simulated arrival delay
+	// in rounds (0 = 2 when async).
+	AsyncBuffer   int `json:",omitempty"`
+	AsyncMaxDelay int `json:",omitempty"`
 }
 
 // Normalize fills defaults in place and validates the names.
@@ -132,15 +167,76 @@ func (c *Config) Normalize() error {
 	if c.RejectX == 0 {
 		c.RejectX = 2
 	}
+	switch c.Partition {
+	case "", "label":
+		c.Partition = ""
+	case "quantity":
+	default:
+		return fmt.Errorf("experiment: unknown partition %q (known: label, quantity)", c.Partition)
+	}
+	if c.Partition == "quantity" && c.Beta <= 0 {
+		return fmt.Errorf("experiment: quantity partition requires Beta > 0")
+	}
+	switch c.Sampler {
+	case "", "uniform":
+		c.Sampler = ""
+	case "bernoulli", "weighted":
+	default:
+		return fmt.Errorf("experiment: unknown sampler %q (known: uniform, bernoulli, weighted)", c.Sampler)
+	}
+	if c.Sampler == "bernoulli" && c.SampleRate == 0 {
+		c.SampleRate = float64(c.PerRound) / float64(c.TotalClients)
+	}
+	if c.DropoutProb < 0 || c.StragglerProb < 0 || c.DropoutProb+c.StragglerProb > 1 {
+		return fmt.Errorf("experiment: churn probabilities (%g, %g) invalid", c.DropoutProb, c.StragglerProb)
+	}
+	switch c.ServerOpt {
+	case "", "plain":
+		c.ServerOpt = ""
+	case "lr", "fedavgm":
+	default:
+		return fmt.Errorf("experiment: unknown server optimizer %q (known: plain, lr, fedavgm)", c.ServerOpt)
+	}
+	if c.ServerOpt != "" && c.ServerLR == 0 {
+		c.ServerLR = 1
+	}
+	if c.ServerOpt == "fedavgm" && c.ServerMomentum == 0 {
+		c.ServerMomentum = 0.9
+	}
+	if c.AsyncBuffer < 0 || c.AsyncMaxDelay < 0 {
+		return fmt.Errorf("experiment: async parameters (%d, %d) must be non-negative", c.AsyncBuffer, c.AsyncMaxDelay)
+	}
+	if c.AsyncBuffer > 0 && c.AsyncMaxDelay == 0 {
+		c.AsyncMaxDelay = 2
+	}
 	return nil
 }
 
 // cleanKey identifies a clean-baseline run: everything that affects the
 // no-attack accuracy.
 func (c Config) cleanKey() string {
-	return fmt.Sprintf("%s|beta=%g|seed=%d|rounds=%d|N=%d|K=%d|lr=%g|bs=%d|ep=%d|train=%d|test=%d|eval=%d",
+	key := fmt.Sprintf("%s|beta=%g|seed=%d|rounds=%d|N=%d|K=%d|lr=%g|bs=%d|ep=%d|train=%d|test=%d|eval=%d",
 		c.Dataset, c.Beta, c.Seed, c.Rounds, c.TotalClients, c.PerRound, c.LR, c.BatchSize,
 		c.LocalEpochs, c.TrainN, c.TestN, c.EvalLimit)
+	// The participation/aggregation axes change the clean trajectory too,
+	// but the legacy shape must keep its legacy key so pre-engine run
+	// stores still resolve their baselines.
+	if c.Partition != "" && c.Partition != "label" {
+		key += "|part=" + c.Partition
+	}
+	if c.Sampler != "" && c.Sampler != "uniform" {
+		key += fmt.Sprintf("|samp=%s|rate=%g", c.Sampler, c.SampleRate)
+	}
+	if c.DropoutProb > 0 || c.StragglerProb > 0 {
+		key += fmt.Sprintf("|drop=%g|strag=%g", c.DropoutProb, c.StragglerProb)
+	}
+	if c.ServerOpt != "" && c.ServerOpt != "plain" {
+		key += fmt.Sprintf("|sopt=%s|slr=%g|smom=%g", c.ServerOpt, c.ServerLR, c.ServerMomentum)
+	}
+	if c.AsyncBuffer > 0 {
+		key += fmt.Sprintf("|async=%d|delay=%d", c.AsyncBuffer, c.AsyncMaxDelay)
+	}
+	return key
 }
 
 // Outcome reports one run together with its clean baseline and the paper's
@@ -167,6 +263,10 @@ type Outcome struct {
 	// (Fig. 7); nil for other attacks. Under seed averaging it is the
 	// first seed's trace: the loss curves are per-run diagnostics.
 	SynthesisLoss [][]float64
+	// Trace holds the engine's per-round participation record (selected,
+	// dropped, straggled, responded, aggregations). Under seed averaging it
+	// is the first seed's trace, like SynthesisLoss.
+	Trace []fl.RoundStats
 }
 
 // buildTask resolves the dataset, partition and model factory of a config.
@@ -192,9 +292,12 @@ func buildTask(cfg Config) (*task, error) {
 	train, test := dataset.Generate(spec, cfg.Seed)
 	prng := rand.New(rand.NewSource(cfg.Seed ^ 0x7054))
 	var shards [][]int
-	if cfg.Beta > 0 {
+	switch {
+	case cfg.Partition == "quantity":
+		shards = dataset.PartitionQuantity(prng, train.Len(), cfg.TotalClients, cfg.Beta)
+	case cfg.Beta > 0:
 		shards = dataset.PartitionDirichlet(prng, train.Labels, cfg.TotalClients, cfg.Beta)
-	} else {
+	default:
 		shards = dataset.PartitionIID(prng, train.Len(), cfg.TotalClients)
 	}
 	var newModel func(rng *rand.Rand) *nn.Network
@@ -295,6 +398,40 @@ func buildDefense(cfg Config, tk *task) (fl.Aggregator, error) {
 	}
 }
 
+// BuildScenario maps a normalized config's participation/aggregation axes
+// onto the engine's pluggable layers; it is the single flags-to-engine
+// mapping shared by the simulator path and cmd/flserver. Legacy defaults
+// map to the zero-value Scenario, preserving the pre-engine RNG streams
+// bit-exactly. shards supplies the per-client weights of the "weighted"
+// sampler and may be nil otherwise.
+func BuildScenario(cfg Config, shards [][]int) fl.Scenario {
+	var sc fl.Scenario
+	switch cfg.Sampler {
+	case "bernoulli":
+		sc.Sampler = fl.BernoulliSampler{P: cfg.SampleRate}
+	case "weighted":
+		weights := make([]float64, len(shards))
+		for i, s := range shards {
+			weights[i] = float64(len(s))
+		}
+		sc.Sampler = fl.WeightedSampler{K: cfg.PerRound, Weights: weights}
+	}
+	if cfg.DropoutProb > 0 || cfg.StragglerProb > 0 {
+		sc.Participation = fl.RandomChurn{DropoutProb: cfg.DropoutProb, StragglerProb: cfg.StragglerProb}
+	}
+	switch cfg.ServerOpt {
+	case "lr":
+		sc.ServerOpt = fl.ServerLRApply{Eta: cfg.ServerLR}
+	case "fedavgm":
+		// Stateful (velocity buffer): a fresh instance per run.
+		sc.ServerOpt = fl.NewFedAvgM(cfg.ServerLR, cfg.ServerMomentum)
+	}
+	if cfg.AsyncBuffer > 0 {
+		sc.Async = &fl.AsyncConfig{Buffer: cfg.AsyncBuffer, MaxDelay: cfg.AsyncMaxDelay}
+	}
+	return sc
+}
+
 // Run executes a single configuration without clean-baseline bookkeeping;
 // most callers want Runner.Run, which also fills CleanAcc and ASR.
 func Run(cfg Config) (*Outcome, error) {
@@ -325,6 +462,7 @@ func Run(cfg Config) (*Outcome, error) {
 		EvalEvery:    1,
 		EvalLimit:    cfg.EvalLimit,
 		Parallel:     cfg.Parallel,
+		Scenario:     BuildScenario(cfg, tk.shards),
 	}
 	if atk == nil {
 		flCfg.AttackerFrac = 0
@@ -348,6 +486,7 @@ func Run(cfg Config) (*Outcome, error) {
 	for _, rs := range res.Rounds {
 		out.AccTimeline = append(out.AccTimeline, rs.Accuracy)
 	}
+	out.Trace = res.Rounds
 	if tracer, ok := atk.(lossTracer); ok {
 		out.SynthesisLoss = tracer.LossTrace()
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -109,6 +110,146 @@ func TestRunAllAttackDefenseCombos(t *testing.T) {
 	}
 }
 
+// TestNormalizeScenarioDefaults pins the defaults and validation of the
+// engine's participation axes.
+func TestNormalizeScenarioDefaults(t *testing.T) {
+	cfg := Config{}
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	// The legacy defaults canonicalize to the zero value so run-store keys
+	// of pre-engine configs stay stable.
+	if cfg.Partition != "" || cfg.Sampler != "" || cfg.ServerOpt != "" {
+		t.Fatalf("legacy scenario defaults must canonicalize to empty: %+v", cfg)
+	}
+	explicit := Config{Partition: "label", Sampler: "uniform", ServerOpt: "plain"}
+	if err := explicit.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if explicit.Partition != "" || explicit.Sampler != "" || explicit.ServerOpt != "" {
+		t.Fatalf("explicit legacy names must canonicalize to empty: %+v", explicit)
+	}
+	bern := Config{Sampler: "bernoulli"}
+	if err := bern.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := bern.SampleRate, float64(bern.PerRound)/float64(bern.TotalClients); got != want {
+		t.Fatalf("bernoulli default rate %v, want K/N = %v", got, want)
+	}
+	fam := Config{ServerOpt: "fedavgm"}
+	if err := fam.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if fam.ServerLR != 1 || fam.ServerMomentum != 0.9 {
+		t.Fatalf("fedavgm defaults not applied: lr=%v momentum=%v", fam.ServerLR, fam.ServerMomentum)
+	}
+	async := Config{AsyncBuffer: 4}
+	if err := async.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if async.AsyncMaxDelay != 2 {
+		t.Fatalf("async default delay %d, want 2", async.AsyncMaxDelay)
+	}
+	bad := []Config{
+		{Sampler: "teleport"},
+		{ServerOpt: "adamw"},
+		{Partition: "vertical"},
+		{Partition: "quantity"}, // requires Beta > 0
+		{DropoutProb: 0.8, StragglerProb: 0.5},
+		{AsyncBuffer: -1},
+	}
+	for i, b := range bad {
+		if err := b.Normalize(); err == nil {
+			t.Errorf("config %d should fail normalization: %+v", i, b)
+		}
+	}
+}
+
+// TestCleanKeyScenarioAxes: participation axes change the clean baseline,
+// so they must split the baseline cache — while the legacy defaults must
+// keep the legacy key.
+func TestCleanKeyScenarioAxes(t *testing.T) {
+	base := tinyCfg("none", "fedavg")
+	if err := base.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	variants := []func(*Config){
+		func(c *Config) { c.Sampler = "bernoulli"; c.SampleRate = 0.2 },
+		func(c *Config) { c.DropoutProb = 0.3 },
+		func(c *Config) { c.ServerOpt = "fedavgm" },
+		func(c *Config) { c.AsyncBuffer = 4 },
+		func(c *Config) { c.Partition = "quantity" },
+	}
+	seen := map[string]bool{base.cleanKey(): true}
+	for i, mut := range variants {
+		cfg := tinyCfg("none", "fedavg")
+		mut(&cfg)
+		if err := cfg.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		key := cfg.cleanKey()
+		if seen[key] {
+			t.Errorf("variant %d: clean key collides: %s", i, key)
+		}
+		seen[key] = true
+	}
+	// The normalized legacy shape must not grow new key segments, so
+	// pre-engine run stores still resolve their baselines.
+	if key := base.cleanKey(); strings.Contains(key, "samp=") || strings.Contains(key, "sopt=") {
+		t.Fatalf("legacy clean key changed: %s", key)
+	}
+}
+
+// TestRunKeyLegacyStable pins the run-store compatibility contract: a
+// legacy-shaped config must marshal — and therefore hash into runKey —
+// without any of the new scenario fields, so journals written before the
+// engine existed still resolve their cells under -resume.
+func TestRunKeyLegacyStable(t *testing.T) {
+	cfg := tinyCfg("lie", "mkrum")
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"Partition", "Sampler", "SampleRate", "DropoutProb",
+		"StragglerProb", "ServerOpt", "ServerLR", "ServerMomentum", "AsyncBuffer", "AsyncMaxDelay"} {
+		if strings.Contains(string(raw), field) {
+			t.Errorf("legacy config JSON leaks new field %s: %s", field, raw)
+		}
+	}
+	scen := tinyCfg("lie", "mkrum")
+	scen.Sampler = "bernoulli"
+	if err := scen.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	k1, err := runKey(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := runKey(scen, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Fatal("scenario config must hash to a different run key")
+	}
+}
+
+// TestQuantityPartitionRuns exercises the quantity-skew axis end-to-end.
+func TestQuantityPartitionRuns(t *testing.T) {
+	cfg := tinyCfg("lie", "mkrum")
+	cfg.Partition = "quantity"
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MaxAcc < 0 || out.MaxAcc > 1 {
+		t.Fatalf("accuracy %v out of range", out.MaxAcc)
+	}
+}
+
 func TestDFAExposesSynthesisLoss(t *testing.T) {
 	out, err := Run(tinyCfg("dfa-r", "median"))
 	if err != nil {
@@ -199,8 +340,8 @@ func TestRunGridPropagatesErrors(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("registry has %d experiments, want 15", len(all))
+	if len(all) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(all))
 	}
 	ids := map[string]bool{}
 	for _, e := range all {
@@ -212,7 +353,7 @@ func TestRegistry(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"table2", "table3", "table4", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "randomweights", "samplesize", "sybil"} {
+	for _, want := range []string{"table2", "table3", "table4", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "randomweights", "samplesize", "sybil", "participation"} {
 		if _, ok := ByID(want); !ok {
 			t.Errorf("experiment %q not registered", want)
 		}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/fl"
 	"repro/internal/persist"
 )
 
@@ -59,14 +60,29 @@ func baselineKey(clean Config) (string, error) {
 // defenses, unevaluated rounds), which encoding/json rejects, so every
 // NaN-able float travels as a nullable pointer.
 type storedOutcome struct {
-	Config        Config       `json:"config"`
-	CleanAcc      *float64     `json:"cleanAcc"`
-	MaxAcc        *float64     `json:"maxAcc"`
-	FinalAcc      *float64     `json:"finalAcc"`
-	ASR           *float64     `json:"asr"`
-	DPR           *float64     `json:"dpr"`
-	AccTimeline   []*float64   `json:"accTimeline,omitempty"`
-	SynthesisLoss [][]*float64 `json:"synthesisLoss,omitempty"`
+	Config        Config        `json:"config"`
+	CleanAcc      *float64      `json:"cleanAcc"`
+	MaxAcc        *float64      `json:"maxAcc"`
+	FinalAcc      *float64      `json:"finalAcc"`
+	ASR           *float64      `json:"asr"`
+	DPR           *float64      `json:"dpr"`
+	AccTimeline   []*float64    `json:"accTimeline,omitempty"`
+	SynthesisLoss [][]*float64  `json:"synthesisLoss,omitempty"`
+	Trace         []storedRound `json:"trace,omitempty"`
+}
+
+// storedRound is the JSON shape of one fl.RoundStats entry; the accuracy
+// travels as a nullable pointer because unevaluated rounds carry NaN.
+type storedRound struct {
+	Round             int      `json:"round"`
+	Accuracy          *float64 `json:"acc"`
+	SelectedMalicious int      `json:"selMal"`
+	PassedMalicious   int      `json:"passMal"`
+	Selected          int      `json:"selected"`
+	Dropped           int      `json:"dropped"`
+	Straggled         int      `json:"straggled"`
+	Responded         int      `json:"responded"`
+	Aggregations      int      `json:"aggs"`
 }
 
 func encFloat(v float64) *float64 {
@@ -121,6 +137,22 @@ func encodeOutcome(o *Outcome) storedOutcome {
 			s.SynthesisLoss[i] = encFloats(round)
 		}
 	}
+	if o.Trace != nil {
+		s.Trace = make([]storedRound, len(o.Trace))
+		for i, rs := range o.Trace {
+			s.Trace[i] = storedRound{
+				Round:             rs.Round,
+				Accuracy:          encFloat(rs.Accuracy),
+				SelectedMalicious: rs.SelectedMalicious,
+				PassedMalicious:   rs.PassedMalicious,
+				Selected:          rs.Selected,
+				Dropped:           rs.Dropped,
+				Straggled:         rs.Straggled,
+				Responded:         rs.Responded,
+				Aggregations:      rs.Aggregations,
+			}
+		}
+	}
 	return s
 }
 
@@ -138,6 +170,22 @@ func decodeOutcome(s storedOutcome) *Outcome {
 		o.SynthesisLoss = make([][]float64, len(s.SynthesisLoss))
 		for i, round := range s.SynthesisLoss {
 			o.SynthesisLoss[i] = decFloats(round)
+		}
+	}
+	if s.Trace != nil {
+		o.Trace = make([]fl.RoundStats, len(s.Trace))
+		for i, sr := range s.Trace {
+			o.Trace[i] = fl.RoundStats{
+				Round:             sr.Round,
+				Accuracy:          decFloat(sr.Accuracy),
+				SelectedMalicious: sr.SelectedMalicious,
+				PassedMalicious:   sr.PassedMalicious,
+				Selected:          sr.Selected,
+				Dropped:           sr.Dropped,
+				Straggled:         sr.Straggled,
+				Responded:         sr.Responded,
+				Aggregations:      sr.Aggregations,
+			}
 		}
 	}
 	return o

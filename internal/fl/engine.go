@@ -1,0 +1,352 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// Transport abstracts how the engine obtains updates from a set of clients:
+// in-process worker-pool training (fl.Simulation) or real socket
+// round-trips (flnet.Server). The engine has already applied sampling and
+// the simulated participation model; Collect receives only the clients
+// expected to respond, and may return fewer updates when the transport
+// itself loses clients (real stragglers missing a network deadline).
+type Transport interface {
+	// Collect obtains updates from ids, training from global (with prev
+	// available to adversarial trainers). Clients that fail to deliver in
+	// time are simply absent from the returned slice.
+	Collect(round int, ids []int, global, prev []float64) ([]Update, error)
+}
+
+// Engine is the single federated round loop shared by every transport. It
+// owns client selection, the participation model, attack-context
+// construction, aggregation, the server optimizer, DPR/ASR metric
+// accounting, evaluation cadence, previous-global tracking, the async
+// update buffer, and the per-round checkpoint hook. fl.Simulation and
+// flnet.Server are thin adapters over it.
+//
+// With the zero-value Scenario the engine consumes its RNG streams exactly
+// as the two pre-engine round loops did, so fixed-seed runs reproduce the
+// pre-refactor results bit-identically (see TestParallelDeterminism).
+type Engine struct {
+	// TotalClients is N, the population size.
+	TotalClients int
+	// PerRound is K, the default uniform sampler's selection size.
+	PerRound int
+	// Rounds is the number of engine steps.
+	Rounds int
+	// StartRound skips rounds before it, replaying the selection and
+	// participation RNG streams so a checkpoint-resumed run selects the same
+	// clients per round as an uninterrupted one (sync mode only).
+	StartRound int
+	// EvalEvery evaluates every EvalEvery rounds (<= 0 means every round);
+	// the final round is always evaluated.
+	EvalEvery int
+	// Seed derives every engine RNG stream.
+	Seed int64
+
+	// Scenario selects the sampler, participation model, server optimizer
+	// and sync/async aggregation mode.
+	Scenario Scenario
+
+	// Transport produces updates for the responding clients.
+	Transport Transport
+	// Aggregator is the server's (possibly Byzantine-robust) rule.
+	Aggregator Aggregator
+
+	// Attack, when non-nil, crafts updates for the responding clients
+	// flagged in Malicious — the simulator's server-side adversary. Nil when
+	// adversaries live behind the transport (flnet), in which case every
+	// responder is contacted through Collect.
+	Attack Attack
+	// Malicious flags the adversary-controlled client IDs (may be nil).
+	Malicious []bool
+	// NewModel hands the attack the experiment's architecture.
+	NewModel func(rng *rand.Rand) *nn.Network
+	// AttackSamples is the plausible n_i crafted updates report.
+	AttackSamples int
+
+	// Evaluate measures the global model's accuracy; nil disables
+	// evaluation (the flnet server without a test set).
+	Evaluate func(weights []float64) (float64, error)
+	// OnRound, when non-nil, runs after every completed round with the
+	// round's stats, the current and previous global weights and the running
+	// maximum accuracy — the checkpoint hook.
+	OnRound func(stats RoundStats, weights, prev []float64, maxAcc float64) error
+
+	// InitialMax seeds the running maximum accuracy (checkpoint resume).
+	InitialMax float64
+	// InitialPrev overrides the initial previous-global vector (checkpoint
+	// resume hands the w(t−1) an uninterrupted run would have had).
+	InitialPrev []float64
+}
+
+// pendingUpdate is one in-flight update in async mode.
+type pendingUpdate struct {
+	u Update
+	// dispatched is the engine step the client trained at.
+	dispatched int
+	// base is the global weight vector the client trained from (shared by
+	// all updates dispatched the same step).
+	base []float64
+}
+
+// Run executes the engine from the given initial global weights and returns
+// the result together with the final global weight vector.
+func (e *Engine) Run(initial []float64) (*Result, []float64, error) {
+	if e.Transport == nil {
+		return nil, nil, errors.New("fl: engine transport must not be nil")
+	}
+	if e.Aggregator == nil {
+		return nil, nil, errors.New("fl: engine aggregator must not be nil")
+	}
+	if err := e.Scenario.Validate(); err != nil {
+		return nil, nil, err
+	}
+	sampler := e.Scenario.Sampler
+	if sampler == nil {
+		sampler = UniformSampler{K: e.PerRound}
+	}
+	part := e.Scenario.Participation
+	if part == nil {
+		part = FullParticipation{}
+	}
+	opt := e.Scenario.ServerOpt
+	if opt == nil {
+		opt = PlainApply{}
+	}
+	async := e.Scenario.Async
+	if async != nil && e.StartRound > 0 {
+		return nil, nil, errors.New("fl: async mode cannot resume mid-run (in-flight updates are not checkpointed)")
+	}
+	evalEvery := e.EvalEvery
+	if evalEvery <= 0 {
+		evalEvery = 1
+	}
+
+	// Three independent streams so new axes never perturb the legacy ones:
+	// selRng and atkRng keep their pre-engine seeds (bit-compatibility),
+	// partRng and asyncRng are consumed only by non-default scenarios.
+	selRng := rand.New(rand.NewSource(e.Seed ^ 0x5DEECE66D))
+	atkRng := rand.New(rand.NewSource(e.Seed ^ 0x2545F4914F6CDD1D))
+	partRng := rand.New(rand.NewSource(e.Seed ^ 0x6A09E667F3BCC909))
+	asyncRng := rand.New(rand.NewSource(e.Seed ^ 0x3C6EF372FE94F82A))
+
+	// Replay the streams a checkpoint-resumed run consumed before the
+	// checkpoint, so it selects the same clients as an uninterrupted one.
+	for r := 0; r < e.StartRound; r++ {
+		for _, id := range sampler.Sample(selRng, r, e.TotalClients) {
+			_ = part.Outcome(partRng, r, id)
+		}
+	}
+
+	totalAttackers := 0
+	for _, m := range e.Malicious {
+		if m {
+			totalAttackers++
+		}
+	}
+
+	res := &Result{MaxAccuracy: e.InitialMax, FinalAccuracy: math.NaN()}
+	global := initial
+	prev := append([]float64(nil), global...)
+	if len(e.InitialPrev) == len(global) && e.StartRound > 0 {
+		prev = e.InitialPrev
+	}
+
+	var arrivals [][]pendingUpdate
+	var buffer []pendingUpdate
+	if async != nil {
+		arrivals = make([][]pendingUpdate, e.Rounds)
+	}
+
+	for round := e.StartRound; round < e.Rounds; round++ {
+		selected := sampler.Sample(selRng, round, e.TotalClients)
+		stats := RoundStats{
+			Round:           round,
+			Accuracy:        math.NaN(),
+			PassedMalicious: -1,
+			Selected:        len(selected),
+		}
+
+		var responders []int
+		for _, id := range selected {
+			switch part.Outcome(partRng, round, id) {
+			case FateDropped:
+				stats.Dropped++
+			case FateStraggled:
+				stats.Straggled++
+			default:
+				responders = append(responders, id)
+			}
+		}
+
+		var benignIDs, attackerIDs []int
+		if e.Attack != nil {
+			for _, id := range responders {
+				if id < len(e.Malicious) && e.Malicious[id] {
+					attackerIDs = append(attackerIDs, id)
+				} else {
+					benignIDs = append(benignIDs, id)
+				}
+			}
+		} else {
+			benignIDs = responders
+		}
+		stats.SelectedMalicious = len(attackerIDs)
+
+		updates, err := e.Transport.Collect(round, benignIDs, global, prev)
+		if err != nil {
+			return nil, nil, fmt.Errorf("round %d: %w", round, err)
+		}
+
+		if len(attackerIDs) > 0 && e.Attack != nil {
+			benignVecs := make([][]float64, len(updates))
+			for i, u := range updates {
+				benignVecs[i] = u.Weights
+			}
+			ctx := &AttackContext{
+				Round:          round,
+				Global:         global,
+				PrevGlobal:     prev,
+				BenignUpdates:  benignVecs,
+				NumAttackers:   len(attackerIDs),
+				NumSelected:    len(selected),
+				TotalClients:   e.TotalClients,
+				TotalAttackers: totalAttackers,
+				NewModel:       e.NewModel,
+				Rng:            atkRng,
+			}
+			malVecs, err := e.Attack.Craft(ctx)
+			if err != nil {
+				return nil, nil, fmt.Errorf("round %d: attack %s: %w", round, e.Attack.Name(), err)
+			}
+			if len(malVecs) != len(attackerIDs) {
+				return nil, nil, fmt.Errorf("round %d: attack returned %d vectors for %d attackers", round, len(malVecs), len(attackerIDs))
+			}
+			for i, id := range attackerIDs {
+				if len(malVecs[i]) != len(global) {
+					return nil, nil, fmt.Errorf("round %d: malicious vector %d has length %d, want %d", round, i, len(malVecs[i]), len(global))
+				}
+				updates = append(updates, Update{
+					ClientID:   id,
+					Weights:    malVecs[i],
+					NumSamples: e.AttackSamples,
+					Malicious:  true,
+				})
+			}
+		}
+		res.MaliciousSubmitted += len(attackerIDs)
+		stats.Responded = len(updates)
+
+		if async == nil {
+			if len(updates) > 0 {
+				if err := e.applyAggregation(round, updates, &global, &prev, opt, &stats, res); err != nil {
+					return nil, nil, err
+				}
+			}
+		} else {
+			if len(updates) > 0 {
+				base := append([]float64(nil), global...)
+				for _, u := range updates {
+					at := round + asyncRng.Intn(async.MaxDelay+1)
+					if at >= e.Rounds {
+						at = e.Rounds - 1
+					}
+					arrivals[at] = append(arrivals[at], pendingUpdate{u: u, dispatched: round, base: base})
+				}
+			}
+			buffer = append(buffer, arrivals[round]...)
+			arrivals[round] = nil
+			for len(buffer) >= async.Buffer || (round == e.Rounds-1 && len(buffer) > 0) {
+				n := async.Buffer
+				if n > len(buffer) {
+					n = len(buffer)
+				}
+				batch := buffer[:n:n]
+				buffer = buffer[n:]
+				virt := make([]Update, len(batch))
+				for i, p := range batch {
+					// Staleness-discounted virtual weight vector: the
+					// client's movement away from the global it trained
+					// from, scaled by FedBuff's 1/√(1+τ), re-anchored at
+					// the current global.
+					discount := 1 / math.Sqrt(1+float64(round-p.dispatched))
+					w := make([]float64, len(global))
+					for j := range w {
+						w[j] = global[j] + discount*(p.u.Weights[j]-p.base[j])
+					}
+					virt[i] = Update{
+						ClientID:   p.u.ClientID,
+						Weights:    w,
+						NumSamples: p.u.NumSamples,
+						Malicious:  p.u.Malicious,
+					}
+				}
+				if err := e.applyAggregation(round, virt, &global, &prev, opt, &stats, res); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+
+		if e.Evaluate != nil && ((round+1)%evalEvery == 0 || round == e.Rounds-1) {
+			acc, err := e.Evaluate(global)
+			if err != nil {
+				return nil, nil, err
+			}
+			stats.Accuracy = acc
+			if acc > res.MaxAccuracy {
+				res.MaxAccuracy = acc
+			}
+			res.FinalAccuracy = acc
+		}
+		res.Rounds = append(res.Rounds, stats)
+		if e.OnRound != nil {
+			if err := e.OnRound(stats, global, prev, res.MaxAccuracy); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return res, global, nil
+}
+
+// applyAggregation runs one server aggregation: the robust rule, the DPR
+// accounting for selection-reporting defenses, and the server optimizer.
+func (e *Engine) applyAggregation(round int, updates []Update, global, prev *[]float64, opt ServerOptimizer, stats *RoundStats, res *Result) error {
+	newGlobal, selectedIdx, err := e.Aggregator.Aggregate(*global, updates)
+	if err != nil {
+		return fmt.Errorf("round %d: defense %s: %w", round, e.Aggregator.Name(), err)
+	}
+	if len(newGlobal) != len(*global) {
+		return fmt.Errorf("round %d: defense returned %d weights, want %d", round, len(newGlobal), len(*global))
+	}
+	if selectedIdx != nil {
+		res.DPRKnown = true
+		passed := 0
+		for _, idx := range selectedIdx {
+			if idx < 0 || idx >= len(updates) {
+				return fmt.Errorf("round %d: defense selected out-of-range update %d", round, idx)
+			}
+			if updates[idx].Malicious {
+				passed++
+			}
+		}
+		if stats.PassedMalicious < 0 {
+			stats.PassedMalicious = 0
+		}
+		stats.PassedMalicious += passed
+		res.MaliciousPassed += passed
+	}
+	next := opt.Apply(*global, newGlobal)
+	if len(next) != len(*global) {
+		return fmt.Errorf("round %d: server optimizer %s returned %d weights, want %d", round, opt.Name(), len(next), len(*global))
+	}
+	*prev = *global
+	*global = next
+	stats.Aggregations++
+	return nil
+}

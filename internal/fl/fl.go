@@ -89,7 +89,8 @@ func ASR(cleanAcc, maxAttackedAcc float64) float64 {
 	return (cleanAcc - maxAttackedAcc) / cleanAcc * 100
 }
 
-// RoundStats records what happened in a single round.
+// RoundStats records what happened in a single round, including the
+// participation trace of the engine's sampler and churn model.
 type RoundStats struct {
 	// Round is the round index.
 	Round int
@@ -101,6 +102,23 @@ type RoundStats struct {
 	// PassedMalicious is the number of malicious updates the defense let
 	// into the aggregate (−1 when the defense does not report selection).
 	PassedMalicious int
+	// Selected is the number of clients the sampler picked this round.
+	Selected int
+	// Dropped counts selected clients the participation model made
+	// unavailable (they never trained).
+	Dropped int
+	// Straggled counts selected clients that trained but missed the round
+	// deadline, so their update was discarded.
+	Straggled int
+	// Responded is the number of updates produced this round (crafted
+	// malicious updates included). In sync mode they all reach the round's
+	// aggregation; in async mode they are dispatched into the delay buffer
+	// and may aggregate in a later round.
+	Responded int
+	// Aggregations is the number of server aggregations applied this round:
+	// 1 per synchronous round with responders, 0 for a zero-responder
+	// round, and the number of buffer flushes in async mode.
+	Aggregations int
 }
 
 // Result aggregates a full simulation run.

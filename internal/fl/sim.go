@@ -3,7 +3,6 @@ package fl
 import (
 	"errors"
 	"fmt"
-	"math"
 	"math/rand"
 	"sync/atomic"
 
@@ -37,6 +36,10 @@ type Config struct {
 	EvalLimit int
 	// Parallel trains the selected clients concurrently.
 	Parallel bool
+	// Scenario selects the participation and aggregation axes (client
+	// sampler, churn model, server optimizer, sync/async). The zero value
+	// reproduces the paper's fixed federation shape bit-exactly.
+	Scenario Scenario
 }
 
 // Validate reports configuration errors.
@@ -60,7 +63,7 @@ func (c *Config) Validate() error {
 	case c.EvalEvery <= 0:
 		return errors.New("fl: EvalEvery must be positive")
 	}
-	return nil
+	return c.Scenario.Validate()
 }
 
 // Simulation wires a dataset, a model architecture, an aggregation rule and
@@ -165,115 +168,47 @@ func (s *Simulation) NumAttackers() int {
 	return n
 }
 
-// Run executes the configured number of rounds and returns the result.
+// simTransport exposes the simulation's bounded worker-pool training as an
+// engine Transport.
+type simTransport struct{ s *Simulation }
+
+// Collect implements Transport.
+func (t simTransport) Collect(_ int, ids []int, global, _ []float64) ([]Update, error) {
+	return t.s.trainBenign(ids, global)
+}
+
+// Run executes the configured number of rounds on the shared round engine
+// and returns the result. The zero-value Scenario reproduces the
+// pre-engine loop bit-identically (see TestParallelDeterminism).
 func (s *Simulation) Run() (*Result, error) {
-	selRng := rand.New(rand.NewSource(s.cfg.Seed ^ 0x5DEECE66D))
-	atkRng := rand.New(rand.NewSource(s.cfg.Seed ^ 0x2545F4914F6CDD1D))
-	res := &Result{MaxAccuracy: 0, FinalAccuracy: math.NaN()}
-
-	global := s.global.WeightVector()
-	prevGlobal := append([]float64(nil), global...)
-	totalAttackers := s.NumAttackers()
-
-	for round := 0; round < s.cfg.Rounds; round++ {
-		selected := selRng.Perm(s.cfg.TotalClients)[:s.cfg.PerRound]
-
-		var benignIDs, attackerIDs []int
-		for _, id := range selected {
-			if s.malicious[id] {
-				attackerIDs = append(attackerIDs, id)
-			} else {
-				benignIDs = append(benignIDs, id)
+	eng := &Engine{
+		TotalClients: s.cfg.TotalClients,
+		PerRound:     s.cfg.PerRound,
+		Rounds:       s.cfg.Rounds,
+		EvalEvery:    s.cfg.EvalEvery,
+		Seed:         s.cfg.Seed,
+		Scenario:     s.cfg.Scenario,
+		Transport:    simTransport{s},
+		Aggregator:   s.aggregator,
+		Attack:       s.attack,
+		Malicious:    s.malicious,
+		NewModel:     s.newModel,
+		// Attackers report a plausible sample count (the mean benign shard
+		// size) so weighted aggregation cannot trivially expose them.
+		AttackSamples: s.meanShardSize(),
+		Evaluate: func(weights []float64) (float64, error) {
+			if err := s.global.SetWeightVector(weights); err != nil {
+				return 0, err
 			}
-		}
-
-		benignUpdates, err := s.trainBenign(benignIDs, global)
-		if err != nil {
-			return nil, fmt.Errorf("round %d: %w", round, err)
-		}
-
-		updates := benignUpdates
-		if len(attackerIDs) > 0 && s.attack != nil {
-			benignVecs := make([][]float64, len(benignUpdates))
-			for i, u := range benignUpdates {
-				benignVecs[i] = u.Weights
-			}
-			ctx := &AttackContext{
-				Round:          round,
-				Global:         global,
-				PrevGlobal:     prevGlobal,
-				BenignUpdates:  benignVecs,
-				NumAttackers:   len(attackerIDs),
-				NumSelected:    s.cfg.PerRound,
-				TotalClients:   s.cfg.TotalClients,
-				TotalAttackers: totalAttackers,
-				NewModel:       s.newModel,
-				Rng:            atkRng,
-			}
-			malVecs, err := s.attack.Craft(ctx)
-			if err != nil {
-				return nil, fmt.Errorf("round %d: attack %s: %w", round, s.attack.Name(), err)
-			}
-			if len(malVecs) != len(attackerIDs) {
-				return nil, fmt.Errorf("round %d: attack returned %d vectors for %d attackers", round, len(malVecs), len(attackerIDs))
-			}
-			// Attackers report a plausible sample count (the mean benign
-			// shard size) so weighted aggregation cannot trivially expose
-			// them.
-			meanN := s.meanShardSize()
-			for i, id := range attackerIDs {
-				if len(malVecs[i]) != len(global) {
-					return nil, fmt.Errorf("round %d: malicious vector %d has length %d, want %d", round, i, len(malVecs[i]), len(global))
-				}
-				updates = append(updates, Update{
-					ClientID:   id,
-					Weights:    malVecs[i],
-					NumSamples: meanN,
-					Malicious:  true,
-				})
-			}
-		}
-
-		newGlobal, selectedIdx, err := s.aggregator.Aggregate(global, updates)
-		if err != nil {
-			return nil, fmt.Errorf("round %d: defense %s: %w", round, s.aggregator.Name(), err)
-		}
-		if len(newGlobal) != len(global) {
-			return nil, fmt.Errorf("round %d: defense returned %d weights, want %d", round, len(newGlobal), len(global))
-		}
-
-		stats := RoundStats{Round: round, Accuracy: math.NaN(), SelectedMalicious: len(attackerIDs), PassedMalicious: -1}
-		if selectedIdx != nil {
-			res.DPRKnown = true
-			passed := 0
-			for _, idx := range selectedIdx {
-				if idx < 0 || idx >= len(updates) {
-					return nil, fmt.Errorf("round %d: defense selected out-of-range update %d", round, idx)
-				}
-				if updates[idx].Malicious {
-					passed++
-				}
-			}
-			stats.PassedMalicious = passed
-			res.MaliciousPassed += passed
-		}
-		res.MaliciousSubmitted += len(attackerIDs)
-
-		prevGlobal = global
-		global = newGlobal
-		if err := s.global.SetWeightVector(global); err != nil {
-			return nil, err
-		}
-
-		if (round+1)%s.cfg.EvalEvery == 0 || round == s.cfg.Rounds-1 {
-			acc := s.eval.Accuracy(s.global, s.cfg.Parallel)
-			stats.Accuracy = acc
-			if acc > res.MaxAccuracy {
-				res.MaxAccuracy = acc
-			}
-			res.FinalAccuracy = acc
-		}
-		res.Rounds = append(res.Rounds, stats)
+			return s.eval.Accuracy(s.global, s.cfg.Parallel), nil
+		},
+	}
+	res, final, err := eng.Run(s.global.WeightVector())
+	if err != nil {
+		return nil, err
+	}
+	if err := s.global.SetWeightVector(final); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -29,6 +29,15 @@ type ServerConfig struct {
 	// that miss it are treated as offline for the round (cross-device FL
 	// explicitly tolerates stragglers).
 	RoundTimeout time.Duration
+	// HandshakeTimeout bounds each join handshake (the first Recv/Send on a
+	// freshly accepted connection), so a half-open or garbage connection
+	// cannot hold the join phase for a full RoundTimeout. 0 defaults to 5s.
+	HandshakeTimeout time.Duration
+	// AcceptTimeout, when positive, bounds the whole join phase: if
+	// MinClients have not completed the handshake within it, Serve fails
+	// instead of waiting forever. Requires a deadline-capable listener
+	// (TCP/Unix); 0 preserves the legacy wait-forever behaviour.
+	AcceptTimeout time.Duration
 	// EvalLimit caps test samples per evaluation (0 = all).
 	EvalLimit int
 	// Seed drives client selection and model initialization.
@@ -41,6 +50,13 @@ type ServerConfig struct {
 	// DatasetName and ModelName annotate checkpoints for load-side
 	// validation.
 	DatasetName, ModelName string
+	// Scenario selects the engine's participation and aggregation axes
+	// (client sampler, simulated churn, server optimizer, sync/async). The
+	// zero value reproduces the legacy synchronous uniform round loop
+	// bit-exactly. Simulated churn composes with the real RoundTimeout:
+	// clients the model drops are never contacted, while real stragglers
+	// are dropped by the socket deadline as before.
+	Scenario fl.Scenario
 }
 
 // Validate reports configuration errors.
@@ -56,16 +72,28 @@ func (c *ServerConfig) Validate() error {
 	if c.RoundTimeout <= 0 {
 		c.RoundTimeout = 30 * time.Second
 	}
-	return nil
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 5 * time.Second
+	}
+	return c.Scenario.Validate()
 }
 
 // RoundReport describes one networked round.
 type RoundReport struct {
 	// Round is the round index.
 	Round int
+	// Selected is the number of clients the sampler picked.
+	Selected int
+	// Dropped and Straggled count the simulated participation losses (the
+	// engine's churn model); clients lost to the real RoundTimeout show up
+	// only as a lower Responded.
+	Dropped, Straggled int
 	// Responded is the number of selected clients that returned an update
 	// before the deadline.
 	Responded int
+	// Aggregations is the number of server aggregations applied (async
+	// buffer flushes; 0 or 1 in sync mode).
+	Aggregations int
 	// Accuracy is the post-aggregation test accuracy.
 	Accuracy float64
 }
@@ -140,6 +168,10 @@ func (s *Server) Serve(lis net.Listener) (*ServerResult, error) {
 		resumeFinal = cp.Accuracy
 	}
 
+	if startRound > 0 && s.cfg.Scenario.Async != nil {
+		return nil, errors.New("flnet: checkpoint resume is not supported in async mode (in-flight updates are not checkpointed)")
+	}
+
 	sessions, err := s.acceptClients(lis)
 	if err != nil {
 		return nil, err
@@ -156,71 +188,94 @@ func (s *Server) Serve(lis net.Listener) (*ServerResult, error) {
 	if len(resumePrev) == len(weights) && startRound > 0 {
 		prev = resumePrev
 	}
-	selRng := rand.New(rand.NewSource(s.cfg.Seed ^ 0x5DEECE66D))
-	// Replay the selection stream consumed before the checkpoint so a
-	// resumed run selects the same clients per round as an uninterrupted
-	// one with the same seed.
-	for r := 0; r < startRound; r++ {
-		selRng.Perm(len(sessions))
-	}
-	res := &ServerResult{FinalAccuracy: math.NaN(), MaxAccuracy: resumeMax}
-	if resumeFinal >= 0 {
-		res.FinalAccuracy = resumeFinal
-	}
 
-	for round := startRound; round < s.cfg.Rounds; round++ {
-		perm := selRng.Perm(len(sessions))[:s.cfg.PerRound]
-		updates := s.collectRound(sessions, perm, round, weights, prev)
-		report := RoundReport{Round: round, Responded: len(updates), Accuracy: math.NaN()}
-		if len(updates) > 0 {
-			newWeights, _, err := s.agg.Aggregate(weights, updates)
-			if err != nil {
-				return nil, fmt.Errorf("flnet: round %d: %w", round, err)
+	eng := &fl.Engine{
+		TotalClients: len(sessions),
+		PerRound:     s.cfg.PerRound,
+		Rounds:       s.cfg.Rounds,
+		StartRound:   startRound,
+		EvalEvery:    1,
+		Seed:         s.cfg.Seed,
+		Scenario:     s.cfg.Scenario,
+		Transport:    &netTransport{server: s, sessions: sessions},
+		Aggregator:   s.agg,
+		InitialMax:   resumeMax,
+		InitialPrev:  prev,
+	}
+	if s.test != nil {
+		eng.Evaluate = func(w []float64) (float64, error) {
+			if err := global.SetWeightVector(w); err != nil {
+				return 0, err
 			}
-			if len(newWeights) != len(weights) {
-				return nil, fmt.Errorf("flnet: round %d: aggregate length %d, want %d", round, len(newWeights), len(weights))
-			}
-			prev = weights
-			weights = newWeights
+			return s.eval.Accuracy(global, true), nil
 		}
-		if s.test != nil {
-			if err := global.SetWeightVector(weights); err != nil {
-				return nil, err
-			}
-			acc := s.eval.Accuracy(global, true)
-			report.Accuracy = acc
-			if acc > res.MaxAccuracy {
-				res.MaxAccuracy = acc
-			}
-			res.FinalAccuracy = acc
-		}
-		res.Rounds = append(res.Rounds, report)
-		if s.cfg.CheckpointPath != "" {
+	}
+	if s.cfg.CheckpointPath != "" {
+		eng.OnRound = func(stats fl.RoundStats, w, p []float64, maxAcc float64) error {
 			cp := &persist.Checkpoint{
-				Round:       round,
+				Round:       stats.Round,
 				Dataset:     s.cfg.DatasetName,
 				Model:       s.cfg.ModelName,
 				Seed:        s.cfg.Seed,
 				MinClients:  s.cfg.MinClients,
 				PerRound:    s.cfg.PerRound,
-				Weights:     weights,
-				PrevWeights: prev,
-				Accuracy:    report.Accuracy,
-				MaxAccuracy: res.MaxAccuracy,
+				Weights:     w,
+				PrevWeights: p,
+				Accuracy:    stats.Accuracy,
+				MaxAccuracy: maxAcc,
 			}
 			if err := persist.Save(s.cfg.CheckpointPath, cp); err != nil {
-				return nil, fmt.Errorf("flnet: round %d checkpoint: %w", round, err)
+				return fmt.Errorf("flnet: round %d checkpoint: %w", stats.Round, err)
 			}
+			return nil
 		}
 	}
 
+	engRes, finalWeights, err := eng.Run(weights)
+	if err != nil {
+		return nil, fmt.Errorf("flnet: %w", err)
+	}
+	res := &ServerResult{
+		MaxAccuracy:   engRes.MaxAccuracy,
+		FinalAccuracy: engRes.FinalAccuracy,
+		FinalWeights:  finalWeights,
+	}
+	// A run that evaluated nothing (no test set, or zero remaining rounds)
+	// keeps the checkpoint's pre-crash accuracy as its final metric.
+	if math.IsNaN(res.FinalAccuracy) && resumeFinal >= 0 {
+		res.FinalAccuracy = resumeFinal
+	}
+	for _, st := range engRes.Rounds {
+		res.Rounds = append(res.Rounds, RoundReport{
+			Round:        st.Round,
+			Selected:     st.Selected,
+			Dropped:      st.Dropped,
+			Straggled:    st.Straggled,
+			Responded:    st.Responded,
+			Aggregations: st.Aggregations,
+			Accuracy:     st.Accuracy,
+		})
+	}
+
 	// Graceful shutdown: hand every client the final model.
-	final := &Envelope{Type: MsgDone, Weights: weights}
+	final := &Envelope{Type: MsgDone, Weights: finalWeights}
 	for _, cl := range sessions {
 		_ = cl.conn.Send(final) // best effort; client may have vanished
 	}
-	res.FinalWeights = weights
 	return res, nil
+}
+
+// netTransport exposes the socket round-trip as an engine Transport: the
+// engine's responder set is contacted concurrently, and clients that miss
+// the RoundTimeout are simply absent from the returned updates.
+type netTransport struct {
+	server   *Server
+	sessions []*session
+}
+
+// Collect implements fl.Transport.
+func (t *netTransport) Collect(round int, ids []int, global, prev []float64) ([]fl.Update, error) {
+	return t.server.collectRound(t.sessions, ids, round, global, prev), nil
 }
 
 // loadCheckpoint restores the latest checkpoint from CheckpointPath, if one
@@ -271,18 +326,41 @@ func (s *Server) loadCheckpoint(wantLen int) (*persist.Checkpoint, error) {
 }
 
 // acceptClients performs the join handshake for MinClients connections.
+// Each handshake runs under HandshakeTimeout, so a half-open or garbage
+// connection cannot hold the join phase for a full RoundTimeout, and the
+// whole phase is bounded by AcceptTimeout when configured.
 func (s *Server) acceptClients(lis net.Listener) ([]*session, error) {
+	var deadline time.Time
+	if s.cfg.AcceptTimeout > 0 {
+		deadline = time.Now().Add(s.cfg.AcceptTimeout)
+		if d, ok := lis.(interface{ SetDeadline(time.Time) error }); ok {
+			if err := d.SetDeadline(deadline); err == nil {
+				defer func() { _ = d.SetDeadline(time.Time{}) }()
+			}
+		}
+	}
+	timedOut := func(n int) error {
+		return fmt.Errorf("flnet: accept: join phase timed out after %v with %d/%d clients",
+			s.cfg.AcceptTimeout, n, s.cfg.MinClients)
+	}
 	sessions := make([]*session, 0, s.cfg.MinClients)
 	for len(sessions) < s.cfg.MinClients {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return nil, timedOut(len(sessions))
+		}
 		raw, err := lis.Accept()
 		if err != nil {
+			var ne net.Error
+			if !deadline.IsZero() && errors.As(err, &ne) && ne.Timeout() {
+				return nil, timedOut(len(sessions))
+			}
 			return nil, fmt.Errorf("flnet: accept: %w", err)
 		}
-		conn := NewConn(raw, s.cfg.RoundTimeout)
+		conn := NewConn(raw, s.cfg.HandshakeTimeout)
 		hello, err := conn.Recv()
 		if err != nil {
 			_ = conn.Close()
-			continue // a scanner or broken dial; keep waiting
+			continue // a scanner, half-open dial or silent peer; keep waiting
 		}
 		if hello.Type != MsgJoin {
 			_ = conn.Close()
@@ -293,6 +371,8 @@ func (s *Server) acceptClients(lis net.Listener) ([]*session, error) {
 			_ = conn.Close()
 			continue
 		}
+		// The session survives the handshake: switch to the round deadline.
+		conn.Timeout = s.cfg.RoundTimeout
 		sessions = append(sessions, &session{id: id, conn: conn})
 	}
 	return sessions, nil

@@ -12,7 +12,9 @@
 //   - internal/nn — CNN training stack (conv, transposed conv, backprop)
 //   - internal/dataset — synthetic Fashion-MNIST/CIFAR-10/SVHN analogues
 //     and Dirichlet partitioning
-//   - internal/fl — federated round loop, ASR/DPR metric accounting
+//   - internal/fl — the unified federated round engine (client samplers,
+//     participation/churn models, server optimizers, sync and FedBuff-style
+//     async buffered aggregation) and ASR/DPR metric accounting
 //   - internal/defense — FedAvg, Median, Trimmed mean, Krum/mKrum, Bulyan
 //   - internal/attack — LIE, Fang, Min-Max, Min-Sum, random, label-flip
 //   - internal/core — DFA-R, DFA-G, L_d regularization, REFD (the paper's
@@ -34,7 +36,12 @@ import (
 )
 
 // Config is a single-simulation configuration; see the field documentation
-// in internal/experiment.
+// in internal/experiment. Beyond the paper's axes (dataset, attack,
+// defense, heterogeneity) it exposes the round engine's production
+// participation axes: Partition, Sampler/SampleRate, DropoutProb/
+// StragglerProb, ServerOpt/ServerLR/ServerMomentum and AsyncBuffer/
+// AsyncMaxDelay. Zero values reproduce the paper's fixed federation shape
+// bit-exactly.
 type Config = experiment.Config
 
 // Outcome is a simulation result with the paper's metrics (ASR, DPR, clean
