@@ -8,6 +8,8 @@
 //	flsim -attack dfa-r -store run.jsonl -resume   # free re-print of a journaled run
 //	flsim -sampler bernoulli -dropout 0.2 -server-opt fedavgm   # cross-device churn
 //	flsim -async-buffer 5 -async-delay 2           # FedBuff-style buffered aggregation
+//	flsim -population virtual -total-clients 1000000 -per-round 50 \
+//	      -placement scatter -frac 0.001 -groups 10   # production-scale lazy population
 package main
 
 import (
@@ -37,6 +39,7 @@ func run(args []string) error {
 	fs.Float64Var(&cfg.AttackerFrac, "frac", 0.2, "fraction of malicious clients")
 	fs.IntVar(&cfg.Rounds, "rounds", 15, "federated rounds")
 	fs.IntVar(&cfg.TotalClients, "clients", 100, "total clients N")
+	fs.IntVar(&cfg.TotalClients, "total-clients", 100, "alias for -clients (population-scale cookbook spelling)")
 	fs.IntVar(&cfg.PerRound, "per-round", 10, "clients selected per round K")
 	fs.IntVar(&cfg.SampleCount, "samples", 50, "DFA synthetic set size |S|")
 	fs.IntVar(&cfg.SynthesisEpochs, "synth-epochs", 0, "DFA synthesis epochs E (0 = paper default)")
@@ -53,6 +56,12 @@ func run(args []string) error {
 	fs.Float64Var(&cfg.ServerMomentum, "server-momentum", 0, "FedAvgM velocity decay (0 = 0.9)")
 	fs.IntVar(&cfg.AsyncBuffer, "async-buffer", 0, "FedBuff-style async aggregation buffer size B (0 = synchronous rounds)")
 	fs.IntVar(&cfg.AsyncMaxDelay, "async-delay", 0, "max simulated update arrival delay in rounds for async mode (0 = 2)")
+	fs.StringVar(&cfg.Population, "population", "eager", "client-population backend: eager (all shards up front), virtual (lazy O(active)-memory population for N up to 10^6)")
+	fs.IntVar(&cfg.MeanShard, "mean-shard", 0, "virtual population's expected per-client shard size in samples (0 = 32)")
+	fs.IntVar(&cfg.PopCache, "pop-cache", 0, "virtual population's LRU shard-materialization cache in shards (0 = max(4*K, 64)); memory only, never results")
+	fs.StringVar(&cfg.Placement, "placement", "first", "attacker placement: first (legacy first-K IDs), scatter (seeded spread), sybil (contiguous burst-join block), sizecorr (proportional to shard size)")
+	fs.IntVar(&cfg.Groups, "groups", 0, "hierarchical aggregation with this many group aggregators (0 = flat server)")
+	fs.StringVar(&cfg.GroupDefense, "group-defense", "", "per-group tier-1 rule for -groups (empty = same as -defense)")
 	storePath := fs.String("store", "", "JSONL run-store path; the completed run is journaled for resume (empty = off)")
 	resume := fs.Bool("resume", false, "replay the run from -store if already journaled instead of recomputing it")
 	threads := fs.Int("threads", 0, "kernel worker-pool size for training/defense compute (0 = GOMAXPROCS); never changes results")
@@ -92,6 +101,15 @@ func run(args []string) error {
 	if dropped+straggled > 0 || out.Config.AsyncBuffer > 0 || out.Config.Sampler != "" {
 		fmt.Printf("participation: sampler=%s selected=%d dropped=%d straggled=%d responded=%d aggregations=%d\n",
 			samplerName, selected, dropped, straggled, responded, aggs)
+	}
+	if out.Config.Population != "" {
+		placement := out.Config.Placement
+		if placement == "" {
+			placement = "first"
+		}
+		fmt.Printf("population: backend=%s N=%d mean-shard=%d placement=%s groups=%d\n",
+			out.Config.Population, out.Config.TotalClients, out.Config.MeanShard,
+			placement, out.Config.Groups)
 	}
 	dpr := "N/A"
 	if !math.IsNaN(out.DPR) {

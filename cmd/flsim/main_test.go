@@ -108,3 +108,43 @@ func TestAsyncBufferedCell(t *testing.T) {
 		t.Fatal("async trace is not deterministic under a fixed seed")
 	}
 }
+
+// TestMillionClientPopulationCell pins the production-scale acceptance
+// criterion end-to-end through the flsim entry point: a round over
+// TotalClients = 1,000,000 virtual clients completes (shards materialized
+// lazily for the participants only), with scattered sub-percent attacker
+// placement and hierarchical aggregation, deterministically.
+func TestMillionClientPopulationCell(t *testing.T) {
+	cfg := tinyCell()
+	cfg.TotalClients = 1000000
+	cfg.PerRound = 6
+	cfg.Rounds = 2
+	cfg.AttackerFrac = 0.001
+	cfg.Population = "virtual"
+	cfg.Placement = "scatter"
+	cfg.Groups = 2
+
+	out, err := runConfig(cfg, "", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(out.FinalAcc) {
+		t.Fatal("final accuracy is NaN")
+	}
+	if len(out.Trace) != cfg.Rounds {
+		t.Fatalf("trace has %d rounds, want %d", len(out.Trace), cfg.Rounds)
+	}
+	for _, rs := range out.Trace {
+		if rs.Selected != cfg.PerRound {
+			t.Fatalf("round %d selected %d clients, want %d", rs.Round, rs.Selected, cfg.PerRound)
+		}
+	}
+
+	again, err := runConfig(cfg, "", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Trace, again.Trace) || out.FinalAcc != again.FinalAcc {
+		t.Fatal("million-client cell is not deterministic under a fixed seed")
+	}
+}

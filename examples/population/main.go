@@ -1,0 +1,60 @@
+// Example population: a million-client cross-device federation in
+// O(active clients) memory.
+//
+// The paper evaluates DFA with 100 clients and 20% attackers; production
+// cross-device FL (Shejwalkar et al., "Back to the Drawing Board") means
+// millions of enrolled devices, tiny per-round samples and attacker
+// fractions below 1%. This example runs one DFA-R/mKrum cell over a
+// 1,000,000-client virtual population with scattered 0.1% attacker
+// placement and hierarchical two-tier aggregation — shards are derived
+// lazily per participant, so the run allocates for the ~40 clients it
+// touches per round, never for the million it models.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+func main() {
+	cfg := repro.Config{
+		Dataset:      "tiny-sim",
+		Attack:       "dfa-r",
+		Defense:      "mkrum",
+		Beta:         0.5,
+		Seed:         1,
+		Rounds:       6,
+		EvalLimit:    80,
+		SampleCount:  10,
+		TotalClients: 1000000, // a million virtual devices
+		PerRound:     40,      // of which 40 participate per round
+		AttackerFrac: 0.001,   // 0.1% compromised — the production regime
+		Population:   "virtual",
+		Placement:    "scatter", // attackers spread through the ID space
+		Groups:       4,         // 4 group aggregators under a robust server tier
+		Parallel:     true,
+	}
+
+	out, err := repro.RunConfig(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("N=%d per-round=%d attacker-frac=%g placement=%s groups=%d\n",
+		cfg.TotalClients, cfg.PerRound, cfg.AttackerFrac, cfg.Placement, cfg.Groups)
+	selMal := 0
+	for _, rs := range out.Trace {
+		selMal += rs.SelectedMalicious
+	}
+	dpr := "N/A"
+	if !math.IsNaN(out.DPR) {
+		dpr = fmt.Sprintf("%.2f%%", out.DPR)
+	}
+	fmt.Printf("clean=%.2f%% acc_m=%.2f%% ASR=%.2f%% DPR=%s malicious-selections=%d\n",
+		out.CleanAcc*100, out.MaxAcc*100, out.ASR, dpr, selMal)
+	fmt.Println("note: at 0.1% compromise a 40-of-1M sample selects an attacker in only ~4% of rounds —")
+	fmt.Println("the dilution effect that makes production-scale poisoning a different problem from the paper's 20%.")
+}

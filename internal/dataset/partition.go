@@ -154,6 +154,13 @@ func SampleDirichlet(rng *rand.Rand, dim int, alpha float64) []float64 {
 	return out
 }
 
+// SampleGamma draws from Gamma(alpha, 1); it is the building block of
+// SampleDirichlet and of the population package's per-client quantity-skew
+// streams.
+func SampleGamma(rng *rand.Rand, alpha float64) float64 {
+	return sampleGamma(rng, alpha)
+}
+
 // sampleGamma draws from Gamma(alpha, 1) using Marsaglia–Tsang, with the
 // standard power-of-uniform boost for alpha < 1.
 func sampleGamma(rng *rand.Rand, alpha float64) float64 {

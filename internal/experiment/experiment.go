@@ -17,6 +17,7 @@ import (
 	"repro/internal/defense"
 	"repro/internal/fl"
 	"repro/internal/nn"
+	"repro/internal/population"
 )
 
 // Config describes one simulation run. Zero fields are filled with the
@@ -106,6 +107,38 @@ type Config struct {
 	// in rounds (0 = 2 when async).
 	AsyncBuffer   int `json:",omitempty"`
 	AsyncMaxDelay int `json:",omitempty"`
+
+	// The population axes below follow the same key-stability contract:
+	// defaults canonicalize to zero values and carry omitempty tags, so a
+	// legacy-shaped config still marshals — and hashes into run-store keys —
+	// exactly as before the population subsystem existed.
+
+	// Population selects the client-population backend: "" or "eager"
+	// (every shard materialized up front — the legacy path) or "virtual"
+	// (internal/population's lazy O(active)-memory population, the only
+	// backend that scales TotalClients to 10⁶).
+	Population string `json:",omitempty"`
+	// MeanShard is the virtual population's expected per-client shard size
+	// in samples (0 = 32; virtual only).
+	MeanShard int `json:",omitempty"`
+	// PopCache bounds the virtual population's LRU shard-materialization
+	// cache in shards (0 = max(4×PerRound, 64)). Pure cache: never changes
+	// results, only memory.
+	PopCache int `json:",omitempty"`
+	// Placement assigns the malicious client IDs: "" or "first" (the legacy
+	// first ⌊frac·N⌋ IDs), "scatter" (seeded hash spread through the ID
+	// space — the production model, exact at 0.1%/0.01% fractions), "sybil"
+	// (one contiguous burst-join block) or "sizecorr" (probability
+	// proportional to shard size). Non-default placements require the
+	// virtual population.
+	Placement string `json:",omitempty"`
+	// Groups > 0 switches to hierarchical two-tier aggregation: Groups
+	// group aggregators each apply the group rule to their clients' updates
+	// and the server applies Defense to the group results. Composes with
+	// both population backends.
+	Groups int `json:",omitempty"`
+	// GroupDefense names the per-group tier-1 rule ("" = Defense).
+	GroupDefense string `json:",omitempty"`
 }
 
 // Normalize fills defaults in place and validates the names.
@@ -209,6 +242,48 @@ func (c *Config) Normalize() error {
 	if c.AsyncBuffer > 0 && c.AsyncMaxDelay == 0 {
 		c.AsyncMaxDelay = 2
 	}
+	switch c.Population {
+	case "", "eager":
+		c.Population = ""
+	case "virtual", "lazy":
+		c.Population = "virtual"
+	default:
+		return fmt.Errorf("experiment: unknown population %q (known: eager, virtual)", c.Population)
+	}
+	if c.Population == "virtual" {
+		if c.MeanShard == 0 {
+			c.MeanShard = 32
+		}
+		if c.AttackerFrac < 0 || c.AttackerFrac > 0.5 {
+			return fmt.Errorf("experiment: AttackerFrac %v outside [0, 0.5]", c.AttackerFrac)
+		}
+		if c.Sampler == "weighted" {
+			// Weighted selection holds one weight per client — O(N) state
+			// the virtual population exists to avoid.
+			return fmt.Errorf("experiment: weighted sampler requires the eager population")
+		}
+	} else if c.MeanShard != 0 || c.PopCache != 0 {
+		return fmt.Errorf("experiment: MeanShard/PopCache require Population=virtual")
+	}
+	if c.MeanShard < 0 || c.PopCache < 0 {
+		return fmt.Errorf("experiment: population parameters (%d, %d) must be non-negative", c.MeanShard, c.PopCache)
+	}
+	switch c.Placement {
+	case "", "first":
+		c.Placement = ""
+	case "scatter", "sybil", "sizecorr":
+		if c.Population != "virtual" {
+			return fmt.Errorf("experiment: placement %q requires Population=virtual", c.Placement)
+		}
+	default:
+		return fmt.Errorf("experiment: unknown placement %q (known: first, scatter, sybil, sizecorr)", c.Placement)
+	}
+	if c.Groups < 0 {
+		return fmt.Errorf("experiment: Groups %d must be non-negative", c.Groups)
+	}
+	if c.GroupDefense != "" && c.Groups == 0 {
+		return fmt.Errorf("experiment: GroupDefense requires Groups > 0")
+	}
 	return nil
 }
 
@@ -235,6 +310,13 @@ func (c Config) cleanKey() string {
 	}
 	if c.AsyncBuffer > 0 {
 		key += fmt.Sprintf("|async=%d|delay=%d", c.AsyncBuffer, c.AsyncMaxDelay)
+	}
+	// The virtual population reshapes every client's shard, so it changes
+	// the clean trajectory; PopCache is a pure cache and Placement only
+	// matters under attack, so neither joins the key. Groups are stripped
+	// from baselines (the paper's acc is flat no-defense FedAvg).
+	if c.Population != "" {
+		key += fmt.Sprintf("|pop=%s|shard=%d", c.Population, c.MeanShard)
 	}
 	return key
 }
@@ -269,13 +351,28 @@ type Outcome struct {
 	Trace []fl.RoundStats
 }
 
-// buildTask resolves the dataset, partition and model factory of a config.
+// buildTask resolves the dataset, partition (eager shards or a lazy virtual
+// population) and model factory of a config.
 type task struct {
-	spec     dataset.Spec
-	train    *dataset.Dataset
-	test     *dataset.Dataset
-	shards   [][]int
+	spec  dataset.Spec
+	train *dataset.Dataset
+	test  *dataset.Dataset
+	// shards is the eager per-client partition; nil on the virtual path.
+	shards [][]int
+	// pop is the lazy virtual population; nil on the eager path.
+	pop      *population.Population
 	newModel func(rng *rand.Rand) *nn.Network
+}
+
+// adversaryShard returns the data shard the data-holding attacks
+// (labelflip, real-data) train on: client 0's shard on either path — a
+// representative client-sized sample, independently of which IDs the
+// placement model actually compromises.
+func (tk *task) adversaryShard() []int {
+	if tk.pop != nil {
+		return tk.pop.Shard(0)
+	}
+	return tk.shards[0]
 }
 
 func buildTask(cfg Config) (*task, error) {
@@ -290,28 +387,56 @@ func buildTask(cfg Config) (*task, error) {
 		spec.TestN = cfg.TestN
 	}
 	train, test := dataset.Generate(spec, cfg.Seed)
-	prng := rand.New(rand.NewSource(cfg.Seed ^ 0x7054))
-	var shards [][]int
-	switch {
-	case cfg.Partition == "quantity":
-		shards = dataset.PartitionQuantity(prng, train.Len(), cfg.TotalClients, cfg.Beta)
-	case cfg.Beta > 0:
-		shards = dataset.PartitionDirichlet(prng, train.Labels, cfg.TotalClients, cfg.Beta)
-	default:
-		shards = dataset.PartitionIID(prng, train.Len(), cfg.TotalClients)
+	tk := &task{spec: spec, train: train, test: test}
+	if cfg.Population == "virtual" {
+		kind := population.IID
+		switch {
+		case cfg.Partition == "quantity":
+			kind = population.Quantity
+		case cfg.Beta > 0:
+			kind = population.Label
+		}
+		cache := cfg.PopCache
+		if cache == 0 {
+			cache = 4 * cfg.PerRound
+			if cache < 64 {
+				cache = 64
+			}
+		}
+		pop, err := population.New(population.Spec{
+			Kind:         kind,
+			TotalClients: cfg.TotalClients,
+			Seed:         cfg.Seed ^ 0x7054,
+			Beta:         cfg.Beta,
+			MeanShard:    cfg.MeanShard,
+			Cache:        cache,
+		}, train)
+		if err != nil {
+			return nil, err
+		}
+		tk.pop = pop
+	} else {
+		prng := rand.New(rand.NewSource(cfg.Seed ^ 0x7054))
+		switch {
+		case cfg.Partition == "quantity":
+			tk.shards = dataset.PartitionQuantity(prng, train.Len(), cfg.TotalClients, cfg.Beta)
+		case cfg.Beta > 0:
+			tk.shards = dataset.PartitionDirichlet(prng, train.Labels, cfg.TotalClients, cfg.Beta)
+		default:
+			tk.shards = dataset.PartitionIID(prng, train.Len(), cfg.TotalClients)
+		}
 	}
-	var newModel func(rng *rand.Rand) *nn.Network
 	switch spec.Name {
 	case "cifar-sim", "svhn-sim":
-		newModel = func(rng *rand.Rand) *nn.Network {
+		tk.newModel = func(rng *rand.Rand) *nn.Network {
 			return nn.NewDeepCNN(rng, spec.Channels, spec.Size, spec.Classes)
 		}
 	default:
-		newModel = func(rng *rand.Rand) *nn.Network {
+		tk.newModel = func(rng *rand.Rand) *nn.Network {
 			return nn.NewFashionCNN(rng, spec.Channels, spec.Size, spec.Classes)
 		}
 	}
-	return &task{spec: spec, train: train, test: test, shards: shards, newModel: newModel}, nil
+	return tk, nil
 }
 
 // lossTracer is implemented by the DFA attacks to expose Fig. 7 data.
@@ -355,7 +480,7 @@ func buildAttack(cfg Config, tk *task) (fl.Attack, error) {
 	case "labelflip":
 		return &attack.LabelFlip{
 			Data:      tk.train,
-			Shard:     tk.shards[0],
+			Shard:     tk.adversaryShard(),
 			LR:        cfg.LR,
 			Epochs:    cfg.LocalEpochs,
 			BatchSize: cfg.BatchSize,
@@ -373,14 +498,16 @@ func buildAttack(cfg Config, tk *task) (fl.Attack, error) {
 	case "real-data":
 		// The adversary's real images follow the same Dirichlet assignment
 		// as benign users: it receives the shard of (malicious) client 0.
-		return core.NewRealData(dfaCfg, tk.train, tk.shards[0])
+		return core.NewRealData(dfaCfg, tk.train, tk.adversaryShard())
 	default:
 		return nil, fmt.Errorf("experiment: unknown attack %q", cfg.Attack)
 	}
 }
 
-func buildDefense(cfg Config, tk *task) (fl.Aggregator, error) {
-	switch cfg.Defense {
+// buildRule resolves one aggregation rule by name with the given assumed
+// attacker count f.
+func buildRule(cfg Config, tk *task, name string, f int) (fl.Aggregator, error) {
+	switch name {
 	case "refd":
 		ref, err := core.BalancedReference(tk.test, cfg.RefPerClass)
 		if err != nil {
@@ -394,8 +521,39 @@ func buildDefense(cfg Config, tk *task) (fl.Aggregator, error) {
 		}
 		return core.NewAdaptiveREFD(ref, tk.newModel, cfg.RejectX, 0.25, 4)
 	default:
-		return defense.ByName(cfg.Defense, cfg.FProxy)
+		return defense.ByName(name, f)
 	}
+}
+
+// buildDefense resolves the configured aggregation topology: the flat rule,
+// or — with Groups > 0 — the hierarchical two-tier composition of the group
+// rule (GroupDefense, defaulting to Defense, with the full FProxy) under a
+// server tier running Defense with its assumed attacker count clamped to a
+// minority of the Groups aggregates.
+func buildDefense(cfg Config, tk *task) (fl.Aggregator, error) {
+	if cfg.Groups <= 0 {
+		return buildRule(cfg, tk, cfg.Defense, cfg.FProxy)
+	}
+	groupName := cfg.GroupDefense
+	if groupName == "" {
+		groupName = cfg.Defense
+	}
+	group, err := buildRule(cfg, tk, groupName, cfg.FProxy)
+	if err != nil {
+		return nil, err
+	}
+	serverF := cfg.FProxy
+	if m := (cfg.Groups - 1) / 2; serverF > m {
+		serverF = m
+	}
+	if serverF < 1 {
+		serverF = 1
+	}
+	server, err := buildRule(cfg, tk, cfg.Defense, serverF)
+	if err != nil {
+		return nil, err
+	}
+	return &population.Hierarchical{Groups: cfg.Groups, Group: group, Server: server}, nil
 }
 
 // BuildScenario maps a normalized config's participation/aggregation axes
@@ -467,7 +625,20 @@ func Run(cfg Config) (*Outcome, error) {
 	if atk == nil {
 		flCfg.AttackerFrac = 0
 	}
-	sim, err := fl.NewSimulation(flCfg, tk.train, tk.test, tk.shards, tk.newModel, agg, atk)
+	var sim interface{ Run() (*fl.Result, error) }
+	if tk.pop != nil {
+		var place population.Placement
+		if atk != nil {
+			place, err = population.PlacementByName(cfg.Placement, cfg.TotalClients,
+				cfg.AttackerFrac, cfg.Seed^0x506C61, tk.pop)
+			if err != nil {
+				return nil, err
+			}
+		}
+		sim, err = population.NewSimulation(flCfg, tk.train, tk.test, tk.pop, place, tk.newModel, agg, atk)
+	} else {
+		sim, err = fl.NewSimulation(flCfg, tk.train, tk.test, tk.shards, tk.newModel, agg, atk)
+	}
 	if err != nil {
 		return nil, err
 	}

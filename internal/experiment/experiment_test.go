@@ -157,6 +157,14 @@ func TestNormalizeScenarioDefaults(t *testing.T) {
 		{Partition: "quantity"}, // requires Beta > 0
 		{DropoutProb: 0.8, StragglerProb: 0.5},
 		{AsyncBuffer: -1},
+		{Population: "cloud"},
+		{Placement: "scatter"}, // requires Population=virtual
+		{Placement: "wormhole", Population: "virtual"},
+		{MeanShard: 16}, // requires Population=virtual
+		{PopCache: 8},   // requires Population=virtual
+		{Groups: -1},
+		{GroupDefense: "mkrum"},                      // requires Groups > 0
+		{Population: "virtual", Sampler: "weighted"}, // O(N) weights
 	}
 	for i, b := range bad {
 		if err := b.Normalize(); err == nil {
@@ -179,6 +187,8 @@ func TestCleanKeyScenarioAxes(t *testing.T) {
 		func(c *Config) { c.ServerOpt = "fedavgm" },
 		func(c *Config) { c.AsyncBuffer = 4 },
 		func(c *Config) { c.Partition = "quantity" },
+		func(c *Config) { c.Population = "virtual" },
+		func(c *Config) { c.Population = "virtual"; c.MeanShard = 16 },
 	}
 	seen := map[string]bool{base.cleanKey(): true}
 	for i, mut := range variants {
@@ -195,7 +205,8 @@ func TestCleanKeyScenarioAxes(t *testing.T) {
 	}
 	// The normalized legacy shape must not grow new key segments, so
 	// pre-engine run stores still resolve their baselines.
-	if key := base.cleanKey(); strings.Contains(key, "samp=") || strings.Contains(key, "sopt=") {
+	if key := base.cleanKey(); strings.Contains(key, "samp=") || strings.Contains(key, "sopt=") ||
+		strings.Contains(key, "pop=") {
 		t.Fatalf("legacy clean key changed: %s", key)
 	}
 }
@@ -214,7 +225,8 @@ func TestRunKeyLegacyStable(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, field := range []string{"Partition", "Sampler", "SampleRate", "DropoutProb",
-		"StragglerProb", "ServerOpt", "ServerLR", "ServerMomentum", "AsyncBuffer", "AsyncMaxDelay"} {
+		"StragglerProb", "ServerOpt", "ServerLR", "ServerMomentum", "AsyncBuffer", "AsyncMaxDelay",
+		"Population", "MeanShard", "PopCache", "Placement", "Groups", "GroupDefense"} {
 		if strings.Contains(string(raw), field) {
 			t.Errorf("legacy config JSON leaks new field %s: %s", field, raw)
 		}
@@ -234,6 +246,56 @@ func TestRunKeyLegacyStable(t *testing.T) {
 	}
 	if k1 == k2 {
 		t.Fatal("scenario config must hash to a different run key")
+	}
+}
+
+// TestVirtualPopulationRuns exercises the lazy-population path end-to-end:
+// virtual backend, scattered placement and hierarchical aggregation through
+// Run, with the DPR plumbing intact across both tiers.
+func TestVirtualPopulationRuns(t *testing.T) {
+	cfg := tinyCfg("signflip", "mkrum")
+	cfg.TotalClients = 5000
+	cfg.PerRound = 8
+	cfg.AttackerFrac = 0.2
+	cfg.Population = "virtual"
+	cfg.Placement = "scatter"
+	cfg.Groups = 2
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MaxAcc < 0 || out.MaxAcc > 1 {
+		t.Fatalf("accuracy %v out of range", out.MaxAcc)
+	}
+	if len(out.Trace) != cfg.Rounds {
+		t.Fatalf("trace has %d rounds, want %d", len(out.Trace), cfg.Rounds)
+	}
+	if out.Config.MeanShard != 32 {
+		t.Fatalf("virtual default MeanShard = %d, want 32", out.Config.MeanShard)
+	}
+	// Determinism: the same virtual config reproduces bit-identically.
+	again, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.MaxAcc != out.MaxAcc || again.FinalAcc != out.FinalAcc {
+		t.Fatalf("virtual run not deterministic: %v/%v vs %v/%v",
+			out.MaxAcc, out.FinalAcc, again.MaxAcc, again.FinalAcc)
+	}
+}
+
+// TestHierarchicalEagerRuns checks the two-tier topology composes with the
+// legacy eager population too (it is a pure aggregator wrapper).
+func TestHierarchicalEagerRuns(t *testing.T) {
+	cfg := tinyCfg("lie", "mkrum")
+	cfg.Groups = 2
+	cfg.GroupDefense = "trmean"
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MaxAcc < 0 || out.MaxAcc > 1 {
+		t.Fatalf("accuracy %v out of range", out.MaxAcc)
 	}
 }
 
@@ -340,8 +402,8 @@ func TestRunGridPropagatesErrors(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("registry has %d experiments, want 16", len(all))
+	if len(all) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(all))
 	}
 	ids := map[string]bool{}
 	for _, e := range all {

@@ -39,6 +39,7 @@ func All() []Experiment {
 		{ID: "adaptivealpha", Title: "§V extension: fixed vs adaptive REFD α (the paper's future-work direction)", Run: runAdaptiveAlpha},
 		{ID: "textdfa", Title: "§VI extension: DFA on text classification (RNN + embedding-space synthesis)", Run: runTextDFA},
 		{ID: "participation", Title: "Production extension: DFA-R vs mKrum under cross-device participation (sampler × churn × server optimizer × sync/async)", Run: runParticipation},
+		{ID: "productionscale", Title: "Production extension: attacker dilution at cross-device scale (100k-client lazy population, attacker fraction × topology × attack, mKrum)", Run: runProductionScale},
 	}
 }
 
@@ -450,6 +451,63 @@ func runParticipation(r *Runner, p Profile, w io.Writer) error {
 		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%s\t%s\t%.1f\n",
 			participationScenarios[i].Name, o.CleanAcc*100, o.MaxAcc*100,
 			fmtPct(o.ASR), fmtPct(o.DPR), mean)
+	}
+	return tw.Flush()
+}
+
+// productionScaleTopologies are the aggregation topologies of the
+// productionscale sweep: the paper's flat server and a 5-group hierarchical
+// tier (each group runs mKrum over ~10 updates, the server runs mKrum over
+// the 5 group aggregates).
+var productionScaleTopologies = []struct {
+	Name   string
+	Groups int
+}{
+	{"flat", 0},
+	{"hier-5", 5},
+}
+
+// runProductionScale sweeps attacker fraction × topology × attack over a
+// 100,000-client virtual population with scattered attacker placement —
+// the Shejwalkar et al. production regime (tiny per-round samples, attacker
+// fractions down to 0.01%) the paper's 100-client/20% setup cannot express.
+// Shards are materialized lazily, so the sweep's memory stays O(PerRound).
+func runProductionScale(r *Runner, p Profile, w io.Writer) error {
+	fracs := []float64{0.2, 0.01, 0.001, 0.0001}
+	attacks := []string{"dfa-r", "minmax", "labelflip"}
+	var cfgs []Config
+	for _, frac := range fracs {
+		for _, topo := range productionScaleTopologies {
+			for _, atk := range attacks {
+				cfg := p.Base("fashion-sim", atk, "mkrum", 0.5)
+				cfg.TotalClients = 100000
+				cfg.PerRound = 50
+				cfg.AttackerFrac = frac
+				cfg.Population = "virtual"
+				cfg.Placement = "scatter"
+				cfg.Groups = topo.Groups
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	outs, err := r.RunGrid(cfgs, p.Workers)
+	if err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "attacker%\ttopology\tattack\tclean_acc%\tacc_m%\tASR%\tDPR%\tsel_malicious")
+	for _, o := range outs {
+		selMal := 0
+		for _, rs := range o.Trace {
+			selMal += rs.SelectedMalicious
+		}
+		topo := "flat"
+		if o.Config.Groups > 0 {
+			topo = fmt.Sprintf("hier-%d", o.Config.Groups)
+		}
+		fmt.Fprintf(tw, "%g\t%s\t%s\t%.2f\t%.2f\t%s\t%s\t%d\n",
+			o.Config.AttackerFrac*100, topo, o.Config.Attack,
+			o.CleanAcc*100, o.MaxAcc*100, fmtPct(o.ASR), fmtPct(o.DPR), selMal)
 	}
 	return tw.Flush()
 }

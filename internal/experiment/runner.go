@@ -85,6 +85,12 @@ func (r *Runner) CleanAccuracy(cfg Config) (float64, error) {
 	clean.Attack = "none"
 	clean.Defense = "fedavg"
 	clean.AttackerFrac = 0
+	// The paper's acc baseline is flat no-defense FedAvg: strip the
+	// attack-side placement and the aggregation topology too, so every
+	// topology of a cell compares against the same clean run.
+	clean.Placement = ""
+	clean.Groups = 0
+	clean.GroupDefense = ""
 	key := clean.cleanKey()
 
 	r.mu.Lock()

@@ -65,6 +65,14 @@ type Engine struct {
 	Attack Attack
 	// Malicious flags the adversary-controlled client IDs (may be nil).
 	Malicious []bool
+	// IsMalicious, when non-nil, replaces the Malicious slice lookup with an
+	// O(1) predicate so population-scale runs never hold O(N) flag storage
+	// (see internal/population's placement models). Requires TotalAttackers.
+	IsMalicious func(id int) bool
+	// TotalAttackers overrides the Malicious scan when positive — the
+	// population-wide attacker count the AttackContext reports. Required
+	// alongside IsMalicious, which cannot be cheaply counted.
+	TotalAttackers int
 	// NewModel hands the attack the experiment's architecture.
 	NewModel func(rng *rand.Rand) *nn.Network
 	// AttackSamples is the plausible n_i crafted updates report.
@@ -144,10 +152,16 @@ func (e *Engine) Run(initial []float64) (*Result, []float64, error) {
 		}
 	}
 
-	totalAttackers := 0
-	for _, m := range e.Malicious {
-		if m {
-			totalAttackers++
+	isMalicious := e.IsMalicious
+	if isMalicious == nil {
+		isMalicious = func(id int) bool { return id < len(e.Malicious) && e.Malicious[id] }
+	}
+	totalAttackers := e.TotalAttackers
+	if totalAttackers == 0 {
+		for _, m := range e.Malicious {
+			if m {
+				totalAttackers++
+			}
 		}
 	}
 
@@ -188,7 +202,7 @@ func (e *Engine) Run(initial []float64) (*Result, []float64, error) {
 		var benignIDs, attackerIDs []int
 		if e.Attack != nil {
 			for _, id := range responders {
-				if id < len(e.Malicious) && e.Malicious[id] {
+				if isMalicious(id) {
 					attackerIDs = append(attackerIDs, id)
 				} else {
 					benignIDs = append(benignIDs, id)

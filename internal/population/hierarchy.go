@@ -1,0 +1,164 @@
+package population
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fl"
+)
+
+// Hierarchical is the production two-tier aggregation topology: G group
+// aggregators each apply a robust rule to the updates of their group, and
+// the server applies a (possibly different) robust rule to the G group
+// aggregates. Every existing defense composes unmodified on either tier
+// because both tiers speak fl.Aggregator.
+//
+// Group aggregates are presented to the server tier as virtual updates
+// whose NumSamples is the group's total sample count, so sample-weighted
+// server rules (FedAvg) recover exactly the flat weighted mean up to
+// floating-point re-association.
+//
+// DPR accounting composes when it can: if every participating group's rule
+// reports selection, the malicious updates that "passed" are those selected
+// by their group AND belonging to a group the server tier kept (all groups,
+// when the server rule is non-selecting). If any group rule is
+// non-selecting, per-update attribution is impossible and the hierarchy
+// reports no selection (DPR N/A), matching the paper's treatment of
+// statistics-based defenses.
+type Hierarchical struct {
+	// Groups is G, the number of group aggregators.
+	Groups int
+	// Group is the per-group robust rule, applied sequentially to each
+	// group (a single shared instance; stateful rules observe G calls per
+	// round).
+	Group fl.Aggregator
+	// Server is the top-tier robust rule over the G group aggregates.
+	Server fl.Aggregator
+	// Assign maps a client ID to its group; nil means id mod Groups. The
+	// assignment must be a pure function so a client aggregates under the
+	// same group every round.
+	Assign func(clientID int) int
+}
+
+var _ fl.Aggregator = (*Hierarchical)(nil)
+
+// Name implements fl.Aggregator.
+func (h *Hierarchical) Name() string {
+	return fmt.Sprintf("hier-%d(%s/%s)", h.Groups, h.Group.Name(), h.Server.Name())
+}
+
+// Validate reports configuration errors.
+func (h *Hierarchical) Validate() error {
+	if h.Groups <= 0 {
+		return errors.New("population: hierarchical Groups must be positive")
+	}
+	if h.Group == nil || h.Server == nil {
+		return errors.New("population: hierarchical tiers must both be set")
+	}
+	return nil
+}
+
+// group returns the group index of one client ID.
+func (h *Hierarchical) group(clientID int) int {
+	g := clientID
+	if h.Assign != nil {
+		g = h.Assign(clientID)
+	}
+	g %= h.Groups
+	if g < 0 {
+		g += h.Groups
+	}
+	return g
+}
+
+// Aggregate implements fl.Aggregator.
+func (h *Hierarchical) Aggregate(global []float64, updates []fl.Update) ([]float64, []int, error) {
+	if err := h.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(updates) == 0 {
+		return nil, nil, errors.New("population: no updates to aggregate")
+	}
+
+	// Bucket the round's updates by group, remembering each update's index
+	// in the caller's slice for DPR attribution.
+	buckets := make([][]fl.Update, h.Groups)
+	indices := make([][]int, h.Groups)
+	for i, u := range updates {
+		g := h.group(u.ClientID)
+		buckets[g] = append(buckets[g], u)
+		indices[g] = append(indices[g], i)
+	}
+
+	// Tier 1: one robust aggregate per non-empty group.
+	var groupUpdates []fl.Update
+	var groupPassed [][]int // global update indices each group let through (nil = unknown)
+	selectionKnown := true
+	for g := 0; g < h.Groups; g++ {
+		if len(buckets[g]) == 0 {
+			continue
+		}
+		agg, sel, err := h.Group.Aggregate(global, buckets[g])
+		if err != nil {
+			return nil, nil, fmt.Errorf("population: group %d: %w", g, err)
+		}
+		samples := 0
+		for _, u := range buckets[g] {
+			samples += u.NumSamples
+		}
+		// Virtual group update: negative IDs keep group aggregates disjoint
+		// from any real client ID space.
+		groupUpdates = append(groupUpdates, fl.Update{
+			ClientID:   -(g + 1),
+			Weights:    agg,
+			NumSamples: samples,
+		})
+		if sel == nil {
+			selectionKnown = false
+			groupPassed = append(groupPassed, nil)
+			continue
+		}
+		passed := make([]int, len(sel))
+		for i, local := range sel {
+			if local < 0 || local >= len(buckets[g]) {
+				return nil, nil, fmt.Errorf("population: group %d selected out-of-range update %d", g, local)
+			}
+			passed[i] = indices[g][local]
+		}
+		groupPassed = append(groupPassed, passed)
+	}
+
+	// Tier 2: the server's robust rule over the group aggregates.
+	final, serverSel, err := h.Server.Aggregate(global, groupUpdates)
+	if err != nil {
+		return nil, nil, fmt.Errorf("population: server tier: %w", err)
+	}
+	if !selectionKnown {
+		return final, nil, nil
+	}
+	keep := make([]bool, len(groupUpdates))
+	if serverSel == nil {
+		for i := range keep {
+			keep[i] = true
+		}
+	} else {
+		for _, gi := range serverSel {
+			if gi < 0 || gi >= len(groupUpdates) {
+				return nil, nil, fmt.Errorf("population: server tier selected out-of-range group %d", gi)
+			}
+			keep[gi] = true
+		}
+	}
+	var selected []int
+	for gi, passed := range groupPassed {
+		if keep[gi] {
+			selected = append(selected, passed...)
+		}
+	}
+	if selected == nil {
+		// Selection is known but empty: distinguish from "unknown" so DPR
+		// counts a round where no update passed.
+		selected = []int{}
+	}
+	return final, selected, nil
+}

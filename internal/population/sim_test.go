@@ -1,0 +1,115 @@
+package population
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/defense"
+	"repro/internal/fl"
+	"repro/internal/nn"
+)
+
+func tinySimParts(t testing.TB, n int) (*dataset.Dataset, *dataset.Dataset, *Population, func(*rand.Rand) *nn.Network) {
+	t.Helper()
+	spec := dataset.TinySpec()
+	train, test := dataset.Generate(spec, 1)
+	pop, err := New(Spec{Kind: Label, TotalClients: n, Seed: 2, Beta: 0.5, MeanShard: 12, Cache: 64}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newModel := func(rng *rand.Rand) *nn.Network {
+		return nn.NewFashionCNN(rng, spec.Channels, spec.Size, spec.Classes)
+	}
+	return train, test, pop, newModel
+}
+
+func popCfg(n, perRound, rounds int) fl.Config {
+	return fl.Config{
+		TotalClients: n,
+		PerRound:     perRound,
+		Rounds:       rounds,
+		LocalEpochs:  1,
+		BatchSize:    8,
+		LR:           0.05,
+		Seed:         1,
+		EvalEvery:    1,
+		EvalLimit:    40,
+	}
+}
+
+// TestSimulationDeterministic pins that two identically seeded
+// population-backed runs produce identical results (the per-(client, round)
+// training streams make results independent of scheduling), and that
+// serial and parallel execution agree.
+func TestSimulationDeterministic(t *testing.T) {
+	run := func(parallel bool) *fl.Result {
+		train, test, pop, newModel := tinySimParts(t, 5000)
+		cfg := popCfg(5000, 6, 3)
+		cfg.Parallel = parallel
+		place, err := PlacementByName("scatter", 5000, 0.2, 7, pop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := NewSimulation(cfg, train, test, pop, place, newModel, defense.MultiKrum{F: 2}, attackStub{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b, c := run(false), run(false), run(true)
+	for _, other := range []*fl.Result{b, c} {
+		if a.MaxAccuracy != other.MaxAccuracy || a.FinalAccuracy != other.FinalAccuracy {
+			t.Fatalf("runs diverge: %v/%v vs %v/%v",
+				a.MaxAccuracy, a.FinalAccuracy, other.MaxAccuracy, other.FinalAccuracy)
+		}
+		if a.MaliciousSubmitted != other.MaliciousSubmitted {
+			t.Fatalf("attacker accounting diverges: %d vs %d", a.MaliciousSubmitted, other.MaliciousSubmitted)
+		}
+	}
+	if math.IsNaN(a.FinalAccuracy) {
+		t.Fatal("final accuracy is NaN")
+	}
+}
+
+// attackStub crafts constant malicious vectors (cheap, deterministic).
+type attackStub struct{}
+
+func (attackStub) Name() string { return "stub" }
+
+func (attackStub) Craft(ctx *fl.AttackContext) ([][]float64, error) {
+	out := make([][]float64, ctx.NumAttackers)
+	for i := range out {
+		v := make([]float64, len(ctx.Global))
+		for j := range v {
+			v[j] = ctx.Global[j] + 0.5
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// TestSimulationValidation pins constructor errors.
+func TestSimulationValidation(t *testing.T) {
+	train, test, pop, newModel := tinySimParts(t, 100)
+	cfg := popCfg(100, 5, 2)
+	if _, err := NewSimulation(cfg, train, test, nil, nil, newModel, defense.FedAvg{}, nil); err == nil {
+		t.Fatal("nil population should fail")
+	}
+	bad := cfg
+	bad.TotalClients = 50
+	if _, err := NewSimulation(bad, train, test, pop, nil, newModel, defense.FedAvg{}, nil); err == nil {
+		t.Fatal("population size mismatch should fail")
+	}
+	if _, err := NewSimulation(cfg, train, test, pop, nil, newModel, nil, nil); err == nil {
+		t.Fatal("nil aggregator should fail")
+	}
+	if _, err := NewSimulation(cfg, train, test, pop, nil, newModel, defense.FedAvg{}, attackStub{}); err == nil {
+		t.Fatal("attack without placement should fail")
+	}
+}

@@ -33,10 +33,13 @@ func Progress(w io.Writer) func(experiment.ProgressEvent) {
 }
 
 // cellLabel identifies a grid cell for humans. Beyond the headline
-// dataset/attack/defense/beta, it appends whichever parameters
-// distinguish cells in the paper's single-axis sweeps (attacker fraction,
-// |S|, regularization, perturbation, seed), so lines stay unique in grids
-// like samplesize or fig6 where the headline fields are constant.
+// dataset/attack/defense/beta, it appends whichever parameters distinguish
+// cells in single-axis sweeps — the paper's (attacker fraction, |S|,
+// regularization, perturbation, seed), the engine's scenario axes
+// (partition, sampler, churn, server optimizer, async) and the population
+// axes (backend, placement, hierarchy) — so progress/ETA lines stay unique
+// in grids like samplesize, participation or productionscale where the
+// headline fields are constant.
 func cellLabel(c experiment.Config) string {
 	label := fmt.Sprintf("%s/%s/%s beta=%g", c.Dataset, c.Attack, c.Defense, c.Beta)
 	if c.AttackerFrac > 0 {
@@ -50,6 +53,33 @@ func cellLabel(c experiment.Config) string {
 	}
 	if c.PerturbStd > 0 {
 		label += fmt.Sprintf(" perturb=%g", c.PerturbStd)
+	}
+	if c.Partition != "" {
+		label += " part=" + c.Partition
+	}
+	if c.Sampler != "" {
+		label += fmt.Sprintf(" samp=%s", c.Sampler)
+		if c.SampleRate > 0 {
+			label += fmt.Sprintf(":%g", c.SampleRate)
+		}
+	}
+	if c.DropoutProb > 0 || c.StragglerProb > 0 {
+		label += fmt.Sprintf(" churn=%g/%g", c.DropoutProb, c.StragglerProb)
+	}
+	if c.ServerOpt != "" {
+		label += " sopt=" + c.ServerOpt
+	}
+	if c.AsyncBuffer > 0 {
+		label += fmt.Sprintf(" async=%d", c.AsyncBuffer)
+	}
+	if c.Population != "" {
+		label += fmt.Sprintf(" pop=%s:N=%d", c.Population, c.TotalClients)
+	}
+	if c.Placement != "" {
+		label += " place=" + c.Placement
+	}
+	if c.Groups > 0 {
+		label += fmt.Sprintf(" groups=%d", c.Groups)
 	}
 	if c.Seed != 1 {
 		label += fmt.Sprintf(" seed=%d", c.Seed)

@@ -16,6 +16,12 @@ import (
 )
 
 // Record is the flattened, serialization-friendly form of one outcome.
+// Beyond the paper's headline axes it carries the engine's scenario axes
+// (partition, sampler, churn, async) and the population axes (backend,
+// placement, hierarchy), so rows of the participation and productionscale
+// grids stay distinguishable in exported JSON/CSV. The scenario and
+// population fields are omitempty: legacy-shaped rows serialize exactly as
+// before.
 type Record struct {
 	Dataset      string  `json:"dataset"`
 	Attack       string  `json:"attack"`
@@ -30,22 +36,54 @@ type Record struct {
 	ASRPct       float64 `json:"asrPct"`
 	// DPRPct is nil when the defense does not report selection ("N/A").
 	DPRPct *float64 `json:"dprPct"`
+
+	// Scenario axes (PR 3); zero values are the paper's fixed shape.
+	Partition     string  `json:"partition,omitempty"`
+	Sampler       string  `json:"sampler,omitempty"`
+	DropoutProb   float64 `json:"dropoutProb,omitempty"`
+	StragglerProb float64 `json:"stragglerProb,omitempty"`
+	AsyncBuffer   int     `json:"asyncBuffer,omitempty"`
+
+	// Population axes; zero values are the eager 100-client federation.
+	// TotalClients is filled only when it distinguishes the row — a
+	// non-default N or any virtual population — because Normalize defaults
+	// it to the paper's 100, which omitempty alone could not hide on
+	// legacy-shaped rows.
+	TotalClients int    `json:"totalClients,omitempty"`
+	Population   string `json:"population,omitempty"`
+	Placement    string `json:"placement,omitempty"`
+	Groups       int    `json:"groups,omitempty"`
 }
+
+// paperTotalClients is Normalize's default population size; rows carrying
+// it (and no virtual population) match the legacy serialized shape.
+const paperTotalClients = 100
 
 // FromOutcome flattens an outcome into a Record.
 func FromOutcome(o *experiment.Outcome) Record {
 	r := Record{
-		Dataset:      o.Config.Dataset,
-		Attack:       o.Config.Attack,
-		Defense:      o.Config.Defense,
-		Beta:         o.Config.Beta,
-		AttackerFrac: o.Config.AttackerFrac,
-		Seed:         o.Config.Seed,
-		Rounds:       o.Config.Rounds,
-		CleanAccPct:  round2(o.CleanAcc * 100),
-		MaxAccPct:    round2(o.MaxAcc * 100),
-		FinalAccPct:  round2(o.FinalAcc * 100),
-		ASRPct:       round2(o.ASR),
+		Dataset:       o.Config.Dataset,
+		Attack:        o.Config.Attack,
+		Defense:       o.Config.Defense,
+		Beta:          o.Config.Beta,
+		AttackerFrac:  o.Config.AttackerFrac,
+		Seed:          o.Config.Seed,
+		Rounds:        o.Config.Rounds,
+		CleanAccPct:   round2(o.CleanAcc * 100),
+		MaxAccPct:     round2(o.MaxAcc * 100),
+		FinalAccPct:   round2(o.FinalAcc * 100),
+		ASRPct:        round2(o.ASR),
+		Partition:     o.Config.Partition,
+		Sampler:       o.Config.Sampler,
+		DropoutProb:   o.Config.DropoutProb,
+		StragglerProb: o.Config.StragglerProb,
+		AsyncBuffer:   o.Config.AsyncBuffer,
+		Population:    o.Config.Population,
+		Placement:     o.Config.Placement,
+		Groups:        o.Config.Groups,
+	}
+	if o.Config.Population != "" || (o.Config.TotalClients != 0 && o.Config.TotalClients != paperTotalClients) {
+		r.TotalClients = o.Config.TotalClients
 	}
 	if !math.IsNaN(o.DPR) {
 		dpr := round2(o.DPR)
@@ -72,10 +110,14 @@ func WriteJSON(w io.Writer, outs []*experiment.Outcome) error {
 	return enc.Encode(records)
 }
 
-// csvHeader is the stable column order of WriteCSV.
+// csvHeader is the stable column order of WriteCSV; the scenario and
+// population columns are appended after the paper metrics so existing
+// column indices are preserved.
 var csvHeader = []string{
 	"dataset", "attack", "defense", "beta", "attacker_frac", "seed",
 	"rounds", "clean_acc_pct", "max_acc_pct", "final_acc_pct", "asr_pct", "dpr_pct",
+	"partition", "sampler", "dropout_prob", "straggler_prob", "async_buffer",
+	"total_clients", "population", "placement", "groups",
 }
 
 // WriteCSV writes the outcomes as CSV with a header row; an undefined DPR
@@ -91,6 +133,10 @@ func WriteCSV(w io.Writer, outs []*experiment.Outcome) error {
 		if r.DPRPct != nil {
 			dpr = strconv.FormatFloat(*r.DPRPct, 'f', 2, 64)
 		}
+		totalClients := ""
+		if r.TotalClients > 0 {
+			totalClients = strconv.Itoa(r.TotalClients)
+		}
 		row := []string{
 			r.Dataset, r.Attack, r.Defense,
 			strconv.FormatFloat(r.Beta, 'g', -1, 64),
@@ -102,6 +148,13 @@ func WriteCSV(w io.Writer, outs []*experiment.Outcome) error {
 			strconv.FormatFloat(r.FinalAccPct, 'f', 2, 64),
 			strconv.FormatFloat(r.ASRPct, 'f', 2, 64),
 			dpr,
+			r.Partition, r.Sampler,
+			strconv.FormatFloat(r.DropoutProb, 'g', -1, 64),
+			strconv.FormatFloat(r.StragglerProb, 'g', -1, 64),
+			strconv.Itoa(r.AsyncBuffer),
+			totalClients,
+			r.Population, r.Placement,
+			strconv.Itoa(r.Groups),
 		}
 		if err := cw.Write(row); err != nil {
 			return err

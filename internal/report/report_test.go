@@ -26,6 +26,16 @@ func sampleOutcomes() []*experiment.Outcome {
 			},
 			CleanAcc: 0.66, MaxAcc: 0.52, FinalAcc: 0.50, ASR: 21.2121, DPR: math.NaN(),
 		},
+		{
+			Config: experiment.Config{
+				Dataset: "fashion-sim", Attack: "dfa-r", Defense: "mkrum",
+				Beta: 0.5, AttackerFrac: 0.001, Seed: 1, Rounds: 12,
+				TotalClients: 100000, Sampler: "bernoulli", DropoutProb: 0.2,
+				Partition: "quantity", AsyncBuffer: 5,
+				Population: "virtual", Placement: "scatter", Groups: 5,
+			},
+			CleanAcc: 0.85, MaxAcc: 0.84, FinalAcc: 0.83, ASR: 1.18, DPR: math.NaN(),
+		},
 	}
 }
 
@@ -48,6 +58,14 @@ func TestFromOutcome(t *testing.T) {
 	if r2.DPRPct != nil {
 		t.Fatal("NaN DPR should map to nil")
 	}
+	// Scenario and population axes flatten into the record so grid rows
+	// stay distinguishable.
+	r3 := FromOutcome(outs[2])
+	if r3.Sampler != "bernoulli" || r3.DropoutProb != 0.2 || r3.Partition != "quantity" ||
+		r3.AsyncBuffer != 5 || r3.TotalClients != 100000 ||
+		r3.Population != "virtual" || r3.Placement != "scatter" || r3.Groups != 5 {
+		t.Fatalf("scenario/population axes lost in flattening: %+v", r3)
+	}
 }
 
 func TestJSONRoundTrip(t *testing.T) {
@@ -59,11 +77,30 @@ func TestJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(records) != 2 {
+	if len(records) != 3 {
 		t.Fatalf("round trip lost records: %d", len(records))
 	}
 	if records[0].ASRPct != 18.13 || records[1].DPRPct != nil {
 		t.Fatalf("round trip changed values: %+v", records)
+	}
+	if records[2].Population != "virtual" || records[2].Groups != 5 {
+		t.Fatalf("population axes lost in JSON round trip: %+v", records[2])
+	}
+	// Legacy-shaped rows must not grow the new keys (omitempty contract) —
+	// including after Normalize, which fills TotalClients with the paper's
+	// default 100 (omitempty alone cannot hide a non-zero int).
+	legacyOut := sampleOutcomes()[0]
+	if err := legacyOut.Config.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	var legacy bytes.Buffer
+	if err := WriteJSON(&legacy, []*experiment.Outcome{legacyOut}); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"population", "placement", "groups", "sampler", "partition", "asyncBuffer", "totalClients"} {
+		if strings.Contains(legacy.String(), `"`+key+`"`) {
+			t.Fatalf("legacy row leaks %q: %s", key, legacy.String())
+		}
 	}
 }
 
@@ -82,10 +119,10 @@ func TestWriteCSV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 3 {
-		t.Fatalf("got %d rows, want header + 2", len(rows))
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want header + 3", len(rows))
 	}
-	if rows[0][0] != "dataset" || rows[0][len(rows[0])-1] != "dpr_pct" {
+	if rows[0][0] != "dataset" || rows[0][11] != "dpr_pct" || rows[0][len(rows[0])-1] != "groups" {
 		t.Fatalf("header wrong: %v", rows[0])
 	}
 	if rows[1][10] != "18.13" {
@@ -96,5 +133,15 @@ func TestWriteCSV(t *testing.T) {
 	}
 	if rows[2][11] != "" {
 		t.Fatalf("undefined DPR should be empty, got %q", rows[2][11])
+	}
+	// The scenario/population columns carry the distinguishing axes.
+	idx := map[string]int{}
+	for i, name := range rows[0] {
+		idx[name] = i
+	}
+	if rows[3][idx["sampler"]] != "bernoulli" || rows[3][idx["population"]] != "virtual" ||
+		rows[3][idx["placement"]] != "scatter" || rows[3][idx["groups"]] != "5" ||
+		rows[3][idx["total_clients"]] != "100000" || rows[3][idx["async_buffer"]] != "5" {
+		t.Fatalf("population/scenario columns wrong: %v", rows[3])
 	}
 }

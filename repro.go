@@ -15,6 +15,9 @@
 //   - internal/fl — the unified federated round engine (client samplers,
 //     participation/churn models, server optimizers, sync and FedBuff-style
 //     async buffered aggregation) and ASR/DPR metric accounting
+//   - internal/population — lazy million-client virtual populations
+//     (O(active)-memory shard materialization, attacker placement models,
+//     hierarchical two-tier aggregation)
 //   - internal/defense — FedAvg, Median, Trimmed mean, Krum/mKrum, Bulyan
 //   - internal/attack — LIE, Fang, Min-Max, Min-Sum, random, label-flip
 //   - internal/core — DFA-R, DFA-G, L_d regularization, REFD (the paper's
@@ -38,10 +41,13 @@ import (
 // Config is a single-simulation configuration; see the field documentation
 // in internal/experiment. Beyond the paper's axes (dataset, attack,
 // defense, heterogeneity) it exposes the round engine's production
-// participation axes: Partition, Sampler/SampleRate, DropoutProb/
-// StragglerProb, ServerOpt/ServerLR/ServerMomentum and AsyncBuffer/
-// AsyncMaxDelay. Zero values reproduce the paper's fixed federation shape
-// bit-exactly.
+// participation axes — Partition, Sampler/SampleRate, DropoutProb/
+// StragglerProb, ServerOpt/ServerLR/ServerMomentum, AsyncBuffer/
+// AsyncMaxDelay — and the population axes: Population/MeanShard/PopCache
+// (lazy O(active)-memory client populations up to 10⁶ clients), Placement
+// (attacker placement models) and Groups/GroupDefense (hierarchical
+// two-tier aggregation). Zero values reproduce the paper's fixed
+// federation shape bit-exactly.
 type Config = experiment.Config
 
 // Outcome is a simulation result with the paper's metrics (ASR, DPR, clean
