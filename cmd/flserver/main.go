@@ -25,6 +25,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/fl"
 	"repro/internal/flnet"
+	"repro/internal/forensics"
 	"repro/internal/nn"
 )
 
@@ -60,6 +61,8 @@ func run(args []string) error {
 	serverMomentum := fs.Float64("server-momentum", 0, "FedAvgM velocity decay (0 = 0.9)")
 	asyncBuffer := fs.Int("async-buffer", 0, "FedBuff-style async aggregation buffer size B (0 = synchronous)")
 	asyncDelay := fs.Int("async-delay", 0, "max simulated update arrival delay in rounds for async mode (0 = 2)")
+	forensicsAddr := fs.String("forensics-addr", "", "serve live defense-decision audit metrics over HTTP at this address, e.g. :8790 (empty = off)")
+	auditPath := fs.String("audit", "", "JSONL audit-journal path for per-round defense decisions and update fingerprints (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -113,6 +116,33 @@ func run(args []string) error {
 		}
 	}
 
+	// The networked server has no ground-truth Malicious flags, so the
+	// collector provides decision auditing (who was filtered, with what
+	// score and fingerprint) rather than TPR/FPR joins.
+	var observer fl.AggregationObserver
+	var col *forensics.Collector
+	if *forensicsAddr != "" || *auditPath != "" {
+		var err error
+		col, err = forensics.NewCollector(forensics.Options{
+			Defense:   agg.Name(),
+			Seed:      *seed,
+			AuditPath: *auditPath,
+		})
+		if err != nil {
+			return err
+		}
+		defer col.Close() // idempotent; the success path closes and checks below
+		if *forensicsAddr != "" {
+			bound, shutdown, err := col.Serve(*forensicsAddr)
+			if err != nil {
+				return err
+			}
+			defer func() { _ = shutdown() }()
+			fmt.Printf("flserver: forensics metrics at http://%s/metrics\n", bound)
+		}
+		observer = col
+	}
+
 	srv, err := flnet.NewServer(flnet.ServerConfig{
 		MinClients:       *clients,
 		PerRound:         *perRound,
@@ -125,6 +155,7 @@ func run(args []string) error {
 		DatasetName:      spec.Name,
 		ModelName:        "paper-cnn",
 		Scenario:         scenario,
+		Observer:         observer,
 	}, agg, newModel, test)
 	if err != nil {
 		return err
@@ -155,6 +186,13 @@ func run(args []string) error {
 			rr.Round+1, rr.Selected, rr.Responded, churn, acc)
 	}
 	fmt.Printf("final accuracy %.4f (max %.4f)\n", res.FinalAccuracy, res.MaxAccuracy)
+	if col != nil {
+		// A lost audit line must not pass silently: fail the process if any
+		// journal append or the final sync failed.
+		if err := col.Close(); err != nil {
+			return fmt.Errorf("forensics audit: %w", err)
+		}
+	}
 	return nil
 }
 

@@ -10,6 +10,8 @@
 //	flsim -async-buffer 5 -async-delay 2           # FedBuff-style buffered aggregation
 //	flsim -population virtual -total-clients 1000000 -per-round 50 \
 //	      -placement scatter -frac 0.001 -groups 10   # production-scale lazy population
+//	flsim -defense refd -forensics -forensics-addr :8790 -audit audit.jsonl
+//	                                               # audit every defense decision, live metrics over HTTP
 package main
 
 import (
@@ -62,6 +64,11 @@ func run(args []string) error {
 	fs.StringVar(&cfg.Placement, "placement", "first", "attacker placement: first (legacy first-K IDs), scatter (seeded spread), sybil (contiguous burst-join block), sizecorr (proportional to shard size)")
 	fs.IntVar(&cfg.Groups, "groups", 0, "hierarchical aggregation with this many group aggregators (0 = flat server)")
 	fs.StringVar(&cfg.GroupDefense, "group-defense", "", "per-group tier-1 rule for -groups (empty = same as -defense)")
+	fs.BoolVar(&cfg.Forensics, "forensics", false, "audit every defense decision and stream detection metrics (TPR/FPR/AUC vs ground truth)")
+	fs.StringVar(&cfg.AuditPath, "audit", "", "JSONL audit-journal path: one line per aggregation with per-update fingerprints, decisions and scores (implies -forensics)")
+	fs.StringVar(&cfg.ForensicsAddr, "forensics-addr", "", "serve live detection metrics over HTTP at this address for the run's duration, e.g. :8790 (implies -forensics)")
+	fs.IntVar(&cfg.ForensicsRing, "forensics-ring", 0, "in-memory round-audit ring size for the HTTP endpoint (0 = 64)")
+	fs.IntVar(&cfg.ForensicsReservoir, "forensics-reservoir", 0, "score-pair reservoir bound for cumulative AUC/TPR@FPR (0 = 4096); memory only, metrics stay deterministic")
 	storePath := fs.String("store", "", "JSONL run-store path; the completed run is journaled for resume (empty = off)")
 	resume := fs.Bool("resume", false, "replay the run from -store if already journaled instead of recomputing it")
 	threads := fs.Int("threads", 0, "kernel worker-pool size for training/defense compute (0 = GOMAXPROCS); never changes results")
@@ -110,6 +117,17 @@ func run(args []string) error {
 		fmt.Printf("population: backend=%s N=%d mean-shard=%d placement=%s groups=%d\n",
 			out.Config.Population, out.Config.TotalClients, out.Config.MeanShard,
 			placement, out.Config.Groups)
+	}
+	if d := out.Detection; d != nil {
+		na := func(v float64) string {
+			if math.IsNaN(v) {
+				return "N/A"
+			}
+			return fmt.Sprintf("%.3f", v)
+		}
+		fmt.Printf("detection: aggregations=%d zero_sel=%d TPR=%s FPR=%s precision=%s F1=%s AUC=%s TPR@1%%FPR=%s score=%s\n",
+			d.Aggregations, d.ZeroSelectionRounds, na(d.TPR), na(d.FPR),
+			na(d.Precision), na(d.F1), na(d.AUC), na(d.TPRAt1FPR), d.ScoreName)
 	}
 	dpr := "N/A"
 	if !math.IsNaN(out.DPR) {

@@ -7,6 +7,8 @@ package main
 
 import (
 	"math"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
@@ -106,6 +108,50 @@ func TestAsyncBufferedCell(t *testing.T) {
 	}
 	if !reflect.DeepEqual(out.Trace, again.Trace) {
 		t.Fatal("async trace is not deterministic under a fixed seed")
+	}
+}
+
+// TestForensicsCell pins the forensics acceptance path end-to-end through
+// the flsim entry point: -forensics plus -audit produce a detection
+// summary that reconciles with the trace, a non-empty JSONL audit journal,
+// and results bit-identical to the forensics-off twin.
+func TestForensicsCell(t *testing.T) {
+	cfg := tinyCell()
+	cfg.AttackerFrac = 0.3
+	cfg.Forensics = true
+	cfg.AuditPath = filepath.Join(t.TempDir(), "audit.jsonl")
+
+	out, err := runConfig(cfg, "", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := out.Detection
+	if d == nil {
+		t.Fatal("forensics cell produced no detection summary")
+	}
+	if d.Aggregations != cfg.Rounds {
+		t.Fatalf("audited %d aggregations, want %d", d.Aggregations, cfg.Rounds)
+	}
+	passed := 0
+	for _, rs := range out.Trace {
+		passed += rs.PassedMalicious
+	}
+	if d.Confusion.FN != passed {
+		t.Fatalf("audit FN %d != trace passed-malicious %d", d.Confusion.FN, passed)
+	}
+	if fi, err := os.Stat(cfg.AuditPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("audit journal missing or empty: %v", err)
+	}
+
+	off := cfg
+	off.Forensics = false
+	off.AuditPath = ""
+	plain, err := runConfig(off, "", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.FinalAcc != out.FinalAcc || !reflect.DeepEqual(plain.Trace, out.Trace) {
+		t.Fatal("forensics changed the run's results")
 	}
 }
 

@@ -52,16 +52,17 @@ func (*AdaptiveREFD) Name() string { return "refd-adaptive" }
 // Alpha returns the α used in the most recent round (1 before any round).
 func (a *AdaptiveREFD) Alpha() float64 { return a.lastAlpha }
 
-// Aggregate implements fl.Aggregator.
-func (a *AdaptiveREFD) Aggregate(global []float64, updates []fl.Update) ([]float64, []int, error) {
+// Aggregate implements fl.Aggregator. Like REFD it reports the per-update
+// D-scores (under the adapted α) as Selection.Scores.
+func (a *AdaptiveREFD) Aggregate(global []float64, updates []fl.Update) ([]float64, fl.Selection, error) {
 	if len(updates) == 0 {
-		return nil, nil, errRefdNoUpdates
+		return nil, fl.Selection{}, errRefdNoUpdates
 	}
 	// First pass: collect both signals for every update, through the same
 	// parallel scoring path REFD aggregates with.
 	bs, vs, err := a.inner.signalsAll(updates)
 	if err != nil {
-		return nil, nil, err
+		return nil, fl.Selection{}, err
 	}
 	// Adapt α from the relative dispersion (coefficient of variation) of
 	// the two signals across this round's updates.
@@ -108,7 +109,8 @@ func (a *AdaptiveREFD) Aggregate(global []float64, updates []fl.Update) ([]float
 		}
 		weights[i] = float64(n)
 	}
-	return vec.WeightedMean(chosen, weights), selected, nil
+	sel := fl.Selection{Accepted: selected, Scores: scores, ScoreName: "dscore"}
+	return vec.WeightedMean(chosen, weights), sel, nil
 }
 
 func coeffVar(xs []float64) float64 {

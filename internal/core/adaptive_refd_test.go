@@ -67,14 +67,17 @@ func TestAdaptiveREFDRejectsBiasedUpdate(t *testing.T) {
 		{ClientID: 1, Weights: vec.Clone(tt.global), NumSamples: 10},
 		{ClientID: 2, Weights: biasedModel.WeightVector(), NumSamples: 10, Malicious: true},
 	}
-	_, selected, err := refd.Aggregate(nil, updates)
+	_, sel, err := refd.Aggregate(nil, updates)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, idx := range selected {
+	for _, idx := range sel.Accepted {
 		if updates[idx].Malicious {
 			t.Fatal("adaptive REFD failed to reject the biased update")
 		}
+	}
+	if len(sel.Scores) != len(updates) || sel.ScoreName != "dscore" {
+		t.Fatalf("adaptive REFD should report D-scores, got %v (%q)", sel.Scores, sel.ScoreName)
 	}
 	// A biased attacker spreads the balance values, so α should move above
 	// its initial 1 (B-dominated round) — or at minimum have been adapted.

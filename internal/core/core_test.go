@@ -358,17 +358,20 @@ func TestREFDScoresAndAggregation(t *testing.T) {
 		{ClientID: 1, Weights: vec.Clone(honest), NumSamples: 10},
 		{ClientID: 2, Weights: biased, NumSamples: 10, Malicious: true},
 	}
-	_, selected, err := refd.Aggregate(nil, updates)
+	_, sel, err := refd.Aggregate(nil, updates)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(selected) != 2 {
-		t.Fatalf("selected %d updates, want 2", len(selected))
+	if len(sel.Accepted) != 2 {
+		t.Fatalf("selected %d updates, want 2", len(sel.Accepted))
 	}
-	for _, idx := range selected {
+	for _, idx := range sel.Accepted {
 		if updates[idx].Malicious {
 			t.Fatal("REFD failed to reject the biased update")
 		}
+	}
+	if len(sel.Scores) != len(updates) || sel.ScoreName != "dscore" {
+		t.Fatalf("REFD should report D-scores, got %v (%q)", sel.Scores, sel.ScoreName)
 	}
 }
 
@@ -402,12 +405,12 @@ func TestREFDKeepsAtLeastOneUpdate(t *testing.T) {
 		{ClientID: 0, Weights: tt.global, NumSamples: 5},
 		{ClientID: 1, Weights: vec.Clone(tt.global), NumSamples: 5},
 	}
-	_, selected, err := refd.Aggregate(nil, updates)
+	_, sel, err := refd.Aggregate(nil, updates)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(selected) != 1 {
-		t.Fatalf("selected %d, want 1 (rejectX clamped)", len(selected))
+	if len(sel.Accepted) != 1 {
+		t.Fatalf("selected %d, want 1 (rejectX clamped)", len(sel.Accepted))
 	}
 }
 

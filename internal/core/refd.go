@@ -185,14 +185,19 @@ func (r *REFD) signalsAll(updates []fl.Update) (bs, vs []float64, err error) {
 // errRefdNoUpdates is shared by REFD and AdaptiveREFD.
 var errRefdNoUpdates = errors.New("core: REFD has no updates to aggregate")
 
-// Aggregate implements fl.Aggregator.
-func (r *REFD) Aggregate(_ []float64, updates []fl.Update) ([]float64, []int, error) {
+// Aggregate implements fl.Aggregator. The Selection carries the per-update
+// D-scores (higher = more benign), the ROC input of the forensics
+// subsystem. Each update's score is a pure function of its weights and the
+// reference set — worker scheduling in signalsAll never reorders or
+// perturbs the vector, so audit journals are bit-reproducible at any
+// tensor worker count.
+func (r *REFD) Aggregate(_ []float64, updates []fl.Update) ([]float64, fl.Selection, error) {
 	if len(updates) == 0 {
-		return nil, nil, errRefdNoUpdates
+		return nil, fl.Selection{}, errRefdNoUpdates
 	}
 	scores, err := r.scoreAll(updates)
 	if err != nil {
-		return nil, nil, err
+		return nil, fl.Selection{}, err
 	}
 	order := make([]int, len(updates))
 	for i := range order {
@@ -216,7 +221,8 @@ func (r *REFD) Aggregate(_ []float64, updates []fl.Update) ([]float64, []int, er
 		}
 		weights[i] = float64(n)
 	}
-	return vec.WeightedMean(vs, weights), selected, nil
+	sel := fl.Selection{Accepted: selected, Scores: scores, ScoreName: "dscore"}
+	return vec.WeightedMean(vs, weights), sel, nil
 }
 
 // scoreAll computes the D-score of every update via the shared parallel

@@ -1,0 +1,72 @@
+package core
+
+// Audit-reproducibility satellite: REFD's exported score vector (the
+// forensics ROC input) must be bit-identical at any tensor worker count —
+// worker scheduling fans the reference-set inference out, but each
+// update's (B, V) signals are a pure function of its weights.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fl"
+	"repro/internal/tensor"
+	"repro/internal/vec"
+)
+
+func refdScoreFixture(t *testing.T) (*testTask, []fl.Update) {
+	t.Helper()
+	tt := newTestTask(t, 2)
+	rng := rand.New(rand.NewSource(5))
+	var updates []fl.Update
+	for i := 0; i < 8; i++ {
+		w := vec.Clone(tt.global)
+		for j := range w {
+			w[j] += rng.NormFloat64() * 0.02
+		}
+		updates = append(updates, fl.Update{ClientID: i, Weights: w, NumSamples: 10})
+	}
+	return tt, updates
+}
+
+func refdScores(t *testing.T, tt *testTask, updates []fl.Update, workers int, adaptive bool) []float64 {
+	t.Helper()
+	prev := tensor.Workers()
+	defer tensor.SetWorkers(prev)
+	tensor.SetWorkers(workers)
+	ref, err := BalancedReference(tt.test, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg fl.Aggregator
+	if adaptive {
+		agg, err = NewAdaptiveREFD(ref, tt.newModel, 2, 0.25, 4)
+	} else {
+		agg, err = NewREFD(ref, tt.newModel, 1, 2)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sel, err := agg.Aggregate(nil, updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Scores) != len(updates) || sel.ScoreName != "dscore" {
+		t.Fatalf("missing D-scores: %d (%q)", len(sel.Scores), sel.ScoreName)
+	}
+	return sel.Scores
+}
+
+func TestREFDScoresWorkerInvariant(t *testing.T) {
+	tt, updates := refdScoreFixture(t)
+	for _, adaptive := range []bool{false, true} {
+		one := refdScores(t, tt, updates, 1, adaptive)
+		eight := refdScores(t, tt, updates, 8, adaptive)
+		for i := range one {
+			if one[i] != eight[i] {
+				t.Fatalf("adaptive=%v: score %d differs across worker counts: %v vs %v",
+					adaptive, i, one[i], eight[i])
+			}
+		}
+	}
+}

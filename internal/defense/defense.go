@@ -5,8 +5,11 @@
 //
 // Every rule implements fl.Aggregator. Selection-based rules (Krum family,
 // Bulyan) report which updates entered the aggregate so the harness can
-// compute the paper's defense pass rate (Eq. 5); purely statistical rules
-// return a nil selection, which the harness reports as "N/A".
+// compute the paper's defense pass rate (Eq. 5), and the Krum family
+// additionally exposes its per-update scores (negated, so higher = more
+// benign) and the shared pairwise distance matrix for forensic reuse;
+// purely statistical rules return a zero Selection, which the harness
+// reports as "N/A".
 package defense
 
 import (
@@ -38,10 +41,12 @@ var _ fl.Aggregator = FedAvg{}
 // Name implements fl.Aggregator.
 func (FedAvg) Name() string { return "fedavg" }
 
-// Aggregate implements fl.Aggregator.
-func (FedAvg) Aggregate(_ []float64, updates []fl.Update) ([]float64, []int, error) {
+// Aggregate implements fl.Aggregator. FedAvg applies no filtering, so it
+// reports no Selection (Accepted nil, DPR "N/A") — reporting "all accepted"
+// would redefine the paper's DPR semantics for the attack-free baseline.
+func (FedAvg) Aggregate(_ []float64, updates []fl.Update) ([]float64, fl.Selection, error) {
 	if len(updates) == 0 {
-		return nil, nil, errNoUpdates
+		return nil, fl.Selection{}, errNoUpdates
 	}
 	weights := make([]float64, len(updates))
 	for i, u := range updates {
@@ -51,7 +56,7 @@ func (FedAvg) Aggregate(_ []float64, updates []fl.Update) ([]float64, []int, err
 		}
 		weights[i] = float64(n)
 	}
-	return vec.WeightedMean(updateVectors(updates), weights), nil, nil
+	return vec.WeightedMean(updateVectors(updates), weights), fl.Selection{}, nil
 }
 
 // Median is the coordinate-wise median aggregation of Yin et al.
@@ -63,11 +68,11 @@ var _ fl.Aggregator = Median{}
 func (Median) Name() string { return "median" }
 
 // Aggregate implements fl.Aggregator.
-func (Median) Aggregate(_ []float64, updates []fl.Update) ([]float64, []int, error) {
+func (Median) Aggregate(_ []float64, updates []fl.Update) ([]float64, fl.Selection, error) {
 	if len(updates) == 0 {
-		return nil, nil, errNoUpdates
+		return nil, fl.Selection{}, errNoUpdates
 	}
-	return vec.Median(updateVectors(updates)), nil, nil
+	return vec.Median(updateVectors(updates)), fl.Selection{}, nil
 }
 
 // TrimmedMean is the coordinate-wise trimmed mean of Yin et al.: the Trim
@@ -86,31 +91,45 @@ var _ fl.Aggregator = TrimmedMean{}
 func (TrimmedMean) Name() string { return "trmean" }
 
 // Aggregate implements fl.Aggregator.
-func (t TrimmedMean) Aggregate(_ []float64, updates []fl.Update) ([]float64, []int, error) {
+func (t TrimmedMean) Aggregate(_ []float64, updates []fl.Update) ([]float64, fl.Selection, error) {
 	if len(updates) == 0 {
-		return nil, nil, errNoUpdates
+		return nil, fl.Selection{}, errNoUpdates
 	}
 	trim := t.Trim
 	if trim < 0 {
-		return nil, nil, fmt.Errorf("defense: negative trim %d", trim)
+		return nil, fl.Selection{}, fmt.Errorf("defense: negative trim %d", trim)
 	}
 	for 2*trim >= len(updates) {
 		trim--
 	}
-	return vec.TrimmedMean(updateVectors(updates), trim), nil, nil
+	return vec.TrimmedMean(updateVectors(updates), trim), fl.Selection{}, nil
 }
 
 // krumScores returns, for every update, the sum of squared distances to its
-// n−f−2 nearest neighbours (Blanchard et al.). The neighbour count is
-// clamped to [1, n−1] so small rounds still produce a usable score. The
-// pairwise matrix is computed once via the shared distance-matrix service.
-func krumScores(vs [][]float64, f int) []float64 {
+// n−f−2 nearest neighbours (Blanchard et al.), together with the pairwise
+// squared-distance matrix it was derived from so callers can share the
+// geometry (Selection.Distances, forensic fingerprints). The neighbour
+// count is clamped to [1, n−1] so small rounds still produce a usable
+// score.
+func krumScores(vs [][]float64, f int) ([]float64, [][]float64) {
 	n := len(vs)
 	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
-	return krumScoresFrom(vec.SqDistMatrix(vs), idx, f)
+	dist := vec.SqDistMatrix(vs)
+	return krumScoresFrom(dist, idx, f), dist
+}
+
+// negate returns the element-wise negation of scores: the Krum family's
+// Selection.Scores convention is "higher = more benign", the opposite of
+// the raw summed-distance score.
+func negate(scores []float64) []float64 {
+	out := make([]float64, len(scores))
+	for i, s := range scores {
+		out[i] = -s
+	}
+	return out
 }
 
 // krumScoresFrom scores the subset of updates given by idx against each
@@ -167,10 +186,10 @@ func (k MultiKrum) Name() string {
 }
 
 // Aggregate implements fl.Aggregator.
-func (k MultiKrum) Aggregate(_ []float64, updates []fl.Update) ([]float64, []int, error) {
+func (k MultiKrum) Aggregate(_ []float64, updates []fl.Update) ([]float64, fl.Selection, error) {
 	n := len(updates)
 	if n == 0 {
-		return nil, nil, errNoUpdates
+		return nil, fl.Selection{}, errNoUpdates
 	}
 	m := k.M
 	if m <= 0 {
@@ -183,14 +202,20 @@ func (k MultiKrum) Aggregate(_ []float64, updates []fl.Update) ([]float64, []int
 		m = n
 	}
 	vs := updateVectors(updates)
-	scores := krumScores(vs, k.F)
+	scores, dist := krumScores(vs, k.F)
 	order := argsort(scores)
 	selected := append([]int(nil), order[:m]...)
 	chosen := make([][]float64, m)
 	for i, idx := range selected {
 		chosen[i] = vs[idx]
 	}
-	return vec.Mean(chosen), selected, nil
+	sel := fl.Selection{
+		Accepted:  selected,
+		Scores:    negate(scores),
+		ScoreName: "neg-krum-distance",
+		Distances: dist,
+	}
+	return vec.Mean(chosen), sel, nil
 }
 
 // Bulyan implements the two-stage defense of El Mhamdi et al.: first an
@@ -208,10 +233,10 @@ var _ fl.Aggregator = Bulyan{}
 func (Bulyan) Name() string { return "bulyan" }
 
 // Aggregate implements fl.Aggregator.
-func (b Bulyan) Aggregate(_ []float64, updates []fl.Update) ([]float64, []int, error) {
+func (b Bulyan) Aggregate(_ []float64, updates []fl.Update) ([]float64, fl.Selection, error) {
 	n := len(updates)
 	if n == 0 {
-		return nil, nil, errNoUpdates
+		return nil, fl.Selection{}, errNoUpdates
 	}
 	theta := n - 2*b.F
 	if theta < 1 {
@@ -281,7 +306,10 @@ func (b Bulyan) Aggregate(_ []float64, updates []fl.Update) ([]float64, []int, e
 		}
 		out[d] = s / float64(beta)
 	}
-	return out, selected, nil
+	// No Scores: the iterative stage-1 selection re-scores a shrinking set,
+	// so no single per-update score vector describes the decision. The
+	// shared distance matrix is still exported for forensic reuse.
+	return out, fl.Selection{Accepted: selected, Distances: dist}, nil
 }
 
 // medianOf returns the median of vals using tmp (same length) as sort

@@ -77,16 +77,16 @@ func TestKrumColludersCanPass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sel) != 6 {
-		t.Fatalf("selected %d, want 6", len(sel))
+	if len(sel.Accepted) != 6 {
+		t.Fatalf("selected %d, want 6", len(sel.Accepted))
 	}
 	// No assertion that attackers are excluded — with near-duplicate
 	// colluders they may legitimately pass; the test only pins that the
 	// selection machinery stays well-formed in this regime.
 	seen := map[int]bool{}
-	for _, idx := range sel {
+	for _, idx := range sel.Accepted {
 		if idx < 0 || idx >= len(us) || seen[idx] {
-			t.Fatalf("malformed selection %v", sel)
+			t.Fatalf("malformed selection %v", sel.Accepted)
 		}
 		seen[idx] = true
 	}
@@ -101,7 +101,7 @@ func TestFedAvgWeighted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sel != nil {
+	if sel.Known() {
 		t.Fatal("FedAvg should not report selection")
 	}
 	if got[0] != 7.5 || got[1] != 7.5 {
@@ -129,7 +129,7 @@ func TestMedianRobustToOutlier(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sel != nil {
+	if sel.Known() {
 		t.Fatal("Median should not report selection")
 	}
 	if got[0] != 2 {
@@ -174,10 +174,10 @@ func TestMultiKrumExcludesOutliers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sel) != 8 {
-		t.Fatalf("mKrum selected %d, want n-F=8", len(sel))
+	if len(sel.Accepted) != 8 {
+		t.Fatalf("mKrum selected %d, want n-F=8", len(sel.Accepted))
 	}
-	for _, idx := range sel {
+	for _, idx := range sel.Accepted {
 		if mal[idx] {
 			t.Fatalf("mKrum selected outlier %d", idx)
 		}
@@ -198,10 +198,10 @@ func TestKrumSelectsSingle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sel) != 1 {
-		t.Fatalf("Krum selected %d updates, want 1", len(sel))
+	if len(sel.Accepted) != 1 {
+		t.Fatalf("Krum selected %d updates, want 1", len(sel.Accepted))
 	}
-	if mal[sel[0]] {
+	if mal[sel.Accepted[0]] {
 		t.Fatal("Krum selected the outlier")
 	}
 }
@@ -214,10 +214,10 @@ func TestBulyanExcludesOutliersAndStaysInHull(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sel) != 6 { // theta = 10 - 2*2
-		t.Fatalf("Bulyan selected %d, want 6", len(sel))
+	if len(sel.Accepted) != 6 { // theta = 10 - 2*2
+		t.Fatalf("Bulyan selected %d, want 6", len(sel.Accepted))
 	}
-	for _, idx := range sel {
+	for _, idx := range sel.Accepted {
 		if mal[idx] {
 			t.Fatalf("Bulyan selected outlier %d", idx)
 		}
@@ -348,8 +348,8 @@ func TestBulyanStage2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sel) != 3 {
-		t.Fatalf("selected %d, want 3", len(sel))
+	if len(sel.Accepted) != 3 {
+		t.Fatalf("selected %d, want 3", len(sel.Accepted))
 	}
 	if math.Abs(got[0]-0.1) > 0.11 {
 		t.Fatalf("Bulyan = %v, want ≈0.1", got[0])

@@ -37,11 +37,15 @@ func NewFoolsGold(kappa float64) *FoolsGold {
 // Name implements fl.Aggregator.
 func (*FoolsGold) Name() string { return "foolsgold" }
 
-// Aggregate implements fl.Aggregator.
-func (f *FoolsGold) Aggregate(global []float64, updates []fl.Update) ([]float64, []int, error) {
+// Aggregate implements fl.Aggregator. The Selection reports the logit
+// weights both as Scores (higher = more benign; the ROC input for the
+// forensics subsystem) and, normalized, as the actual aggregation Weights.
+// Scores are computed per update with a fixed accumulation order, so they
+// are bit-identical at any tensor worker count — audit journals reproduce.
+func (f *FoolsGold) Aggregate(global []float64, updates []fl.Update) ([]float64, fl.Selection, error) {
 	n := len(updates)
 	if n == 0 {
-		return nil, nil, errNoUpdates
+		return nil, fl.Selection{}, errNoUpdates
 	}
 	// Accumulate per-client historical update directions (w_i − w(t)).
 	dirs := make([][]float64, n)
@@ -100,7 +104,7 @@ func (f *FoolsGold) Aggregate(global []float64, updates []fl.Update) ([]float64,
 		weights[i] = clamp01(lw)
 	}
 	// Selected = clients with non-zero aggregation weight (for DPR).
-	var selected []int
+	selected := []int{}
 	total := 0.0
 	for i, w := range weights {
 		if w > 0 {
@@ -108,19 +112,31 @@ func (f *FoolsGold) Aggregate(global []float64, updates []fl.Update) ([]float64,
 			total += w
 		}
 	}
+	sel := fl.Selection{
+		Accepted:  selected,
+		Scores:    append([]float64(nil), weights...),
+		ScoreName: "foolsgold-weight",
+	}
 	if total == 0 {
 		// Degenerate round: every update looked like a Sybil. Fall back to
-		// the current global model (no-op round).
-		return vec.Clone(global), []int{}, nil
+		// the current global model (no-op round); the empty Accepted lets
+		// DPR and the detection metrics record an all-filtered round rather
+		// than skipping it.
+		return vec.Clone(global), sel, nil
 	}
+	norm := make([]float64, n)
+	for i, w := range weights {
+		norm[i] = w / total
+	}
+	sel.Weights = norm
 	out := make([]float64, len(global))
 	for i, u := range updates {
 		if weights[i] == 0 {
 			continue
 		}
-		vec.Axpy(out, weights[i]/total, u.Weights)
+		vec.Axpy(out, norm[i], u.Weights)
 	}
-	return out, selected, nil
+	return out, sel, nil
 }
 
 func clamp01(v float64) float64 {

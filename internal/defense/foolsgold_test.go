@@ -47,7 +47,7 @@ func TestFoolsGoldDownweightsSybils(t *testing.T) {
 			t.Fatal(err)
 		}
 		global = out
-		lastSelected = sel
+		lastSelected = sel.Accepted
 	}
 	// After history accumulates, the identical Sybils must be excluded (or
 	// at minimum not all selected) while benign diversity keeps benign
@@ -78,8 +78,8 @@ func TestFoolsGoldKeepsDiverseClients(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sel) < 7 {
-		t.Fatalf("FoolsGold should keep diverse benign clients, selected %d/8", len(sel))
+	if len(sel.Accepted) < 7 {
+		t.Fatalf("FoolsGold should keep diverse benign clients, selected %d/8", len(sel.Accepted))
 	}
 	if len(out) != len(global) {
 		t.Fatalf("aggregate length %d", len(out))
@@ -109,8 +109,11 @@ func TestFoolsGoldAllIdenticalFallsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sel) != 0 {
-		t.Fatalf("all-identical round should select nobody, got %v", sel)
+	if sel.Accepted == nil || len(sel.Accepted) != 0 {
+		t.Fatalf("all-identical round should report an empty selection, got %v", sel.Accepted)
+	}
+	if len(sel.Scores) != len(us) || sel.ScoreName != "foolsgold-weight" {
+		t.Fatalf("degenerate round should still report scores, got %v (%q)", sel.Scores, sel.ScoreName)
 	}
 	for i := range global {
 		if out[i] != global[i] {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/defense"
 	"repro/internal/fl"
+	"repro/internal/forensics"
 	"repro/internal/nn"
 	"repro/internal/population"
 )
@@ -139,6 +140,26 @@ type Config struct {
 	Groups int `json:",omitempty"`
 	// GroupDefense names the per-group tier-1 rule ("" = Defense).
 	GroupDefense string `json:",omitempty"`
+
+	// The forensics axes below are pure observation: enabling them never
+	// changes DPR/ASR, accuracies, or any RNG stream, so runKey strips them
+	// — a forensics-on cell resolves to the same stored run as its
+	// forensics-off twin (TestForensicsRunKeyInvariant).
+
+	// Forensics enables the per-round defense-decision audit pipeline and
+	// streaming detection metrics (internal/forensics).
+	Forensics bool `json:",omitempty"`
+	// ForensicsRing bounds the in-memory round-audit ring (0 = 64).
+	ForensicsRing int `json:",omitempty"`
+	// ForensicsReservoir bounds the cumulative score-pair reservoir the
+	// AUC/TPR@FPR metrics are computed over (0 = 4096).
+	ForensicsReservoir int `json:",omitempty"`
+	// AuditPath, when non-empty, journals every defense decision to a JSONL
+	// audit journal; ForensicsAddr, when non-empty, serves live detection
+	// metrics over HTTP for the run's duration. Both imply Forensics and
+	// never serialize — an ephemeral path or socket does not identify a run.
+	AuditPath     string `json:"-"`
+	ForensicsAddr string `json:"-"`
 }
 
 // Normalize fills defaults in place and validates the names.
@@ -284,6 +305,15 @@ func (c *Config) Normalize() error {
 	if c.GroupDefense != "" && c.Groups == 0 {
 		return fmt.Errorf("experiment: GroupDefense requires Groups > 0")
 	}
+	if c.AuditPath != "" || c.ForensicsAddr != "" {
+		c.Forensics = true
+	}
+	if c.ForensicsRing < 0 || c.ForensicsReservoir < 0 {
+		return fmt.Errorf("experiment: forensics bounds (%d, %d) must be non-negative", c.ForensicsRing, c.ForensicsReservoir)
+	}
+	if !c.Forensics && (c.ForensicsRing != 0 || c.ForensicsReservoir != 0) {
+		return fmt.Errorf("experiment: ForensicsRing/ForensicsReservoir require Forensics")
+	}
 	return nil
 }
 
@@ -349,6 +379,11 @@ type Outcome struct {
 	// dropped, straggled, responded, aggregations). Under seed averaging it
 	// is the first seed's trace, like SynthesisLoss.
 	Trace []fl.RoundStats
+	// Detection is the forensics subsystem's cumulative detection-quality
+	// summary (TPR/FPR/F1, AUC, TPR@1%FPR); nil when the run did not enable
+	// forensics or was replayed from a forensics-off store entry. Under
+	// seed averaging it is the first seed's summary, like SynthesisLoss.
+	Detection *forensics.Summary
 }
 
 // buildTask resolves the dataset, partition (eager shards or a lazy virtual
@@ -608,6 +643,30 @@ func Run(cfg Config) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	var col *forensics.Collector
+	if cfg.Forensics {
+		col, err = forensics.NewCollector(forensics.Options{
+			Defense:      agg.Name(),
+			Ring:         cfg.ForensicsRing,
+			ReservoirCap: cfg.ForensicsReservoir,
+			// A forensics-private seed derivation: the collector consumes no
+			// engine RNG stream, so results stay bit-identical to
+			// forensics-off runs.
+			Seed:      cfg.Seed ^ 0x464F52,
+			AuditPath: cfg.AuditPath,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer col.Close() // idempotent; the success path closes explicitly
+		if cfg.ForensicsAddr != "" {
+			_, shutdown, err := col.Serve(cfg.ForensicsAddr)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: forensics endpoint: %w", err)
+			}
+			defer func() { _ = shutdown() }()
+		}
+	}
 	flCfg := fl.Config{
 		TotalClients: cfg.TotalClients,
 		PerRound:     cfg.PerRound,
@@ -621,6 +680,9 @@ func Run(cfg Config) (*Outcome, error) {
 		EvalLimit:    cfg.EvalLimit,
 		Parallel:     cfg.Parallel,
 		Scenario:     BuildScenario(cfg, tk.shards),
+	}
+	if col != nil {
+		flCfg.Observer = col
 	}
 	if atk == nil {
 		flCfg.AttackerFrac = 0
@@ -660,6 +722,15 @@ func Run(cfg Config) (*Outcome, error) {
 	out.Trace = res.Rounds
 	if tracer, ok := atk.(lossTracer); ok {
 		out.SynthesisLoss = tracer.LossTrace()
+	}
+	if col != nil {
+		s := col.Summary()
+		out.Detection = &s
+		// A lost audit line is lost evidence: surface it as the run's error
+		// rather than shipping a silently incomplete journal.
+		if err := col.Close(); err != nil {
+			return nil, fmt.Errorf("experiment: forensics audit: %w", err)
+		}
 	}
 	return out, nil
 }

@@ -402,8 +402,8 @@ func TestRunGridPropagatesErrors(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("registry has %d experiments, want 17", len(all))
+	if len(all) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(all))
 	}
 	ids := map[string]bool{}
 	for _, e := range all {

@@ -40,6 +40,7 @@ func All() []Experiment {
 		{ID: "textdfa", Title: "§VI extension: DFA on text classification (RNN + embedding-space synthesis)", Run: runTextDFA},
 		{ID: "participation", Title: "Production extension: DFA-R vs mKrum under cross-device participation (sampler × churn × server optimizer × sync/async)", Run: runParticipation},
 		{ID: "productionscale", Title: "Production extension: attacker dilution at cross-device scale (100k-client lazy population, attacker fraction × topology × attack, mKrum)", Run: runProductionScale},
+		{ID: "detection", Title: "Forensics extension: detection quality (AUC, TPR@1%FPR) of every defense across attacks and attacker fractions on a 100k-client population", Run: runDetection},
 	}
 }
 
@@ -508,6 +509,54 @@ func runProductionScale(r *Runner, p Profile, w io.Writer) error {
 		fmt.Fprintf(tw, "%g\t%s\t%s\t%.2f\t%.2f\t%s\t%s\t%d\n",
 			o.Config.AttackerFrac*100, topo, o.Config.Attack,
 			o.CleanAcc*100, o.MaxAcc*100, fmtPct(o.ASR), fmtPct(o.DPR), selMal)
+	}
+	return tw.Flush()
+}
+
+// runDetection is the forensics scoreboard sweep: every score-producing or
+// selection-reporting defense against the strongest data-free and
+// data-holding attacks, from the paper's 20% attacker regime down to the
+// 0.1% production regime on a 100,000-client lazy population with
+// scattered placement. Endpoint metrics (DPR) stay in the table so the
+// Shejwalkar-style detection view (AUC, TPR@1%FPR, TPR/FPR) can be read
+// against them: a defense can look strong on DPR while filtering half its
+// benign clients, and only the FPR column shows it.
+func runDetection(r *Runner, p Profile, w io.Writer) error {
+	fracs := []float64{0.2, 0.01, 0.001}
+	attacks := []string{"dfa-r", "minmax", "labelflip"}
+	defenses := []string{"refd", "mkrum", "foolsgold", "bulyan"}
+	var cfgs []Config
+	for _, frac := range fracs {
+		for _, def := range defenses {
+			for _, atk := range attacks {
+				cfg := p.Base("fashion-sim", atk, def, 0.5)
+				cfg.TotalClients = 100000
+				cfg.PerRound = 50
+				cfg.AttackerFrac = frac
+				cfg.Population = "virtual"
+				cfg.Placement = "scatter"
+				cfg.Forensics = true
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	outs, err := r.RunGrid(cfgs, p.Workers)
+	if err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintf(tw, "attacker%%\tdefense\tattack\tAUC\tTPR@1%%FPR\tTPR%%\tFPR%%\tDPR%%\tzero_sel\n")
+	for _, o := range outs {
+		auc, tprAt, tpr, fpr := math.NaN(), math.NaN(), math.NaN(), math.NaN()
+		zeroSel := 0
+		if d := o.Detection; d != nil {
+			auc, tprAt = d.AUC, d.TPRAt1FPR
+			tpr, fpr = d.TPR*100, d.FPR*100
+			zeroSel = d.ZeroSelectionRounds
+		}
+		fmt.Fprintf(tw, "%g\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d\n",
+			o.Config.AttackerFrac*100, o.Config.Defense, o.Config.Attack,
+			fmtPct(auc), fmtPct(tprAt), fmtPct(tpr), fmtPct(fpr), fmtPct(o.DPR), zeroSel)
 	}
 	return tw.Flush()
 }

@@ -87,10 +87,16 @@ func (r *Runner) CleanAccuracy(cfg Config) (float64, error) {
 	clean.AttackerFrac = 0
 	// The paper's acc baseline is flat no-defense FedAvg: strip the
 	// attack-side placement and the aggregation topology too, so every
-	// topology of a cell compares against the same clean run.
+	// topology of a cell compares against the same clean run. Forensics is
+	// stripped as well — auditing a no-attack FedAvg run yields nothing,
+	// and a shared AuditPath must not be double-opened by the baseline.
 	clean.Placement = ""
 	clean.Groups = 0
 	clean.GroupDefense = ""
+	clean.Forensics = false
+	clean.ForensicsRing = 0
+	clean.ForensicsReservoir = 0
+	clean.AuditPath, clean.ForensicsAddr = "", ""
 	key := clean.cleanKey()
 
 	r.mu.Lock()
@@ -165,6 +171,18 @@ func (r *Runner) Run(cfg Config) (*Outcome, error) {
 	for s := 0; s < seeds; s++ {
 		c := cfg
 		c.Seed = cfg.Seed + int64(s)*1000003
+		if s > 0 {
+			// Forensics follows first-seed semantics like SynthesisLoss:
+			// only the first seed's Detection summary is kept, so later
+			// seeds skip the whole pipeline — paying per-round
+			// fingerprinting for a discarded summary would be waste, and
+			// re-running the audit journal against one path would
+			// interleave streams under colliding r<round>.<seq> keys.
+			// runKey strips these fields, so store identity is unaffected.
+			c.Forensics = false
+			c.ForensicsRing, c.ForensicsReservoir = 0, 0
+			c.AuditPath, c.ForensicsAddr = "", ""
+		}
 		out, err := r.runOne(c)
 		if err != nil {
 			return nil, err

@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"repro/internal/fl"
+	"repro/internal/forensics"
 	"repro/internal/persist"
 )
 
@@ -30,6 +31,15 @@ func runKey(cfg Config, seeds int) (string, error) {
 	if err := c.Normalize(); err != nil {
 		return "", err
 	}
+	// Forensics is pure observation (it never changes a run's results), so
+	// it is stripped from the identity: a forensics-on cell resolves to the
+	// same stored run as its forensics-off twin, and legacy journals stay
+	// byte-for-byte resolvable. A replayed entry from a forensics-off run
+	// simply carries no Detection summary.
+	c.Forensics = false
+	c.ForensicsRing = 0
+	c.ForensicsReservoir = 0
+	c.AuditPath, c.ForensicsAddr = "", ""
 	if seeds < 1 {
 		seeds = 1
 	}
@@ -60,16 +70,21 @@ func baselineKey(clean Config) (string, error) {
 // defenses, unevaluated rounds), which encoding/json rejects, so every
 // NaN-able float travels as a nullable pointer.
 type storedOutcome struct {
-	Config        Config        `json:"config"`
-	CleanAcc      *float64      `json:"cleanAcc"`
-	MaxAcc        *float64      `json:"maxAcc"`
-	FinalAcc      *float64      `json:"finalAcc"`
-	ASR           *float64      `json:"asr"`
-	DPR           *float64      `json:"dpr"`
-	AccTimeline   []*float64    `json:"accTimeline,omitempty"`
-	SynthesisLoss [][]*float64  `json:"synthesisLoss,omitempty"`
-	Trace         []storedRound `json:"trace,omitempty"`
+	Config        Config             `json:"config"`
+	CleanAcc      *float64           `json:"cleanAcc"`
+	MaxAcc        *float64           `json:"maxAcc"`
+	FinalAcc      *float64           `json:"finalAcc"`
+	ASR           *float64           `json:"asr"`
+	DPR           *float64           `json:"dpr"`
+	AccTimeline   []*float64         `json:"accTimeline,omitempty"`
+	SynthesisLoss [][]*float64       `json:"synthesisLoss,omitempty"`
+	Trace         []storedRound      `json:"trace,omitempty"`
+	Detection     *forensics.Summary `json:"detection,omitempty"`
 }
+
+// Detection travels as *forensics.Summary directly: Summary owns its own
+// NaN-safe JSON shape (Marshal/UnmarshalJSON), shared with the audit
+// journal and the HTTP endpoint, so the store cannot drift from them.
 
 // storedRound is the JSON shape of one fl.RoundStats entry; the accuracy
 // travels as a nullable pointer because unevaluated rounds carry NaN.
@@ -130,6 +145,7 @@ func encodeOutcome(o *Outcome) storedOutcome {
 		ASR:         encFloat(o.ASR),
 		DPR:         encFloat(o.DPR),
 		AccTimeline: encFloats(o.AccTimeline),
+		Detection:   o.Detection,
 	}
 	if o.SynthesisLoss != nil {
 		s.SynthesisLoss = make([][]*float64, len(o.SynthesisLoss))
@@ -165,6 +181,7 @@ func decodeOutcome(s storedOutcome) *Outcome {
 		ASR:         decFloat(s.ASR),
 		DPR:         decFloat(s.DPR),
 		AccTimeline: decFloats(s.AccTimeline),
+		Detection:   s.Detection,
 	}
 	if s.SynthesisLoss != nil {
 		o.SynthesisLoss = make([][]float64, len(s.SynthesisLoss))

@@ -78,6 +78,12 @@ type Engine struct {
 	// AttackSamples is the plausible n_i crafted updates report.
 	AttackSamples int
 
+	// Observer, when non-nil, receives every aggregation decision (updates,
+	// Selection, global weights) — the forensics audit hook. Zero-responder
+	// rounds are reported with an empty updates slice so detection metrics
+	// record them instead of silently skipping.
+	Observer AggregationObserver
+
 	// Evaluate measures the global model's accuracy; nil disables
 	// evaluation (the flnet server without a test set).
 	Evaluate func(weights []float64) (float64, error)
@@ -262,6 +268,12 @@ func (e *Engine) Run(initial []float64) (*Result, []float64, error) {
 				if err := e.applyAggregation(round, updates, &global, &prev, opt, &stats, res); err != nil {
 					return nil, nil, err
 				}
+			} else if e.Observer != nil {
+				// A zero-responder round must be recorded (as a zero-selection
+				// round) rather than silently skipped, mirroring the engine's
+				// own trace. The Selection stays zero: the defense never ran,
+				// so no accept/reject decision exists to report.
+				e.Observer.ObserveAggregation(round, global, nil, Selection{})
 			}
 		} else {
 			if len(updates) > 0 {
@@ -305,6 +317,12 @@ func (e *Engine) Run(initial []float64) (*Result, []float64, error) {
 					return nil, nil, err
 				}
 			}
+			if e.Observer != nil && len(updates) == 0 && stats.Aggregations == 0 {
+				// Same contract as the synchronous branch: an engine step
+				// that produced no updates and flushed no buffer is recorded
+				// as a zero-selection round, never skipped.
+				e.Observer.ObserveAggregation(round, global, nil, Selection{})
+			}
 		}
 
 		if e.Evaluate != nil && ((round+1)%evalEvery == 0 || round == e.Rounds-1) {
@@ -329,19 +347,20 @@ func (e *Engine) Run(initial []float64) (*Result, []float64, error) {
 }
 
 // applyAggregation runs one server aggregation: the robust rule, the DPR
-// accounting for selection-reporting defenses, and the server optimizer.
+// accounting for selection-reporting defenses, the audit observer and the
+// server optimizer.
 func (e *Engine) applyAggregation(round int, updates []Update, global, prev *[]float64, opt ServerOptimizer, stats *RoundStats, res *Result) error {
-	newGlobal, selectedIdx, err := e.Aggregator.Aggregate(*global, updates)
+	newGlobal, sel, err := e.Aggregator.Aggregate(*global, updates)
 	if err != nil {
 		return fmt.Errorf("round %d: defense %s: %w", round, e.Aggregator.Name(), err)
 	}
 	if len(newGlobal) != len(*global) {
 		return fmt.Errorf("round %d: defense returned %d weights, want %d", round, len(newGlobal), len(*global))
 	}
-	if selectedIdx != nil {
+	if sel.Known() {
 		res.DPRKnown = true
 		passed := 0
-		for _, idx := range selectedIdx {
+		for _, idx := range sel.Accepted {
 			if idx < 0 || idx >= len(updates) {
 				return fmt.Errorf("round %d: defense selected out-of-range update %d", round, idx)
 			}
@@ -354,6 +373,9 @@ func (e *Engine) applyAggregation(round int, updates []Update, global, prev *[]f
 		}
 		stats.PassedMalicious += passed
 		res.MaliciousPassed += passed
+	}
+	if e.Observer != nil {
+		e.Observer.ObserveAggregation(round, *global, updates, sel)
 	}
 	next := opt.Apply(*global, newGlobal)
 	if len(next) != len(*global) {

@@ -49,8 +49,8 @@ type badLengthAggregator struct{}
 
 func (badLengthAggregator) Name() string { return "badlength" }
 
-func (badLengthAggregator) Aggregate(_ []float64, updates []Update) ([]float64, []int, error) {
-	return make([]float64, 3), nil, nil
+func (badLengthAggregator) Aggregate(_ []float64, updates []Update) ([]float64, Selection, error) {
+	return make([]float64, 3), Selection{}, nil
 }
 
 // badSelectionAggregator reports an out-of-range selected index.
@@ -58,9 +58,9 @@ type badSelectionAggregator struct{}
 
 func (badSelectionAggregator) Name() string { return "badselection" }
 
-func (badSelectionAggregator) Aggregate(_ []float64, updates []Update) ([]float64, []int, error) {
+func (badSelectionAggregator) Aggregate(_ []float64, updates []Update) ([]float64, Selection, error) {
 	out := make([]float64, len(updates[0].Weights))
-	return out, []int{len(updates) + 5}, nil
+	return out, Selection{Accepted: []int{len(updates) + 5}}, nil
 }
 
 // errorAggregator always fails.
@@ -68,8 +68,8 @@ type errorAggregator struct{}
 
 func (errorAggregator) Name() string { return "erroragg" }
 
-func (errorAggregator) Aggregate(_ []float64, _ []Update) ([]float64, []int, error) {
-	return nil, nil, errors.New("server meltdown")
+func (errorAggregator) Aggregate(_ []float64, _ []Update) ([]float64, Selection, error) {
+	return nil, Selection{}, errors.New("server meltdown")
 }
 
 func mustSim(t *testing.T, agg Aggregator, atk Attack) *Simulation {

@@ -8,6 +8,7 @@ package fl
 import (
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/nn"
 )
@@ -26,17 +27,102 @@ type Update struct {
 	Malicious bool
 }
 
+// Selection is the uniform per-round decision report of an aggregation
+// rule: which updates entered the aggregate, with what weight, and — for
+// score-producing defenses — the raw per-update score the decision was cut
+// from. It is the seam the forensics subsystem audits: every field indexes
+// the round's updates slice positionally.
+type Selection struct {
+	// Accepted lists the indices of updates included in the aggregate; it
+	// drives the DPR metric (Eq. 5). nil means the defense does not report
+	// selection (median, trimmed mean — "N/A" in the paper); an empty
+	// non-nil slice means the defense rejected every update this round.
+	Accepted []int
+	// Weights holds one aggregation weight per update for weighted rules
+	// (FoolsGold); nil means uniform weighting over Accepted.
+	Weights []float64
+	// Scores holds one benignness score per update for score-producing
+	// defenses (REFD's D-score, FoolsGold's logit weight, the Krum family's
+	// negated neighbour distance). Higher always means "more benign", so
+	// downstream ROC sweeps need no per-defense orientation. nil when the
+	// rule produces no scores.
+	Scores []float64
+	// ScoreName names the Scores semantic ("dscore", "foolsgold-weight",
+	// "neg-krum-distance"); empty when Scores is nil.
+	ScoreName string
+	// Groups attributes each update to the group-tier aggregator that
+	// consumed it under hierarchical aggregation; nil for flat rules.
+	Groups []int
+	// Distances, when non-nil, is the round's pairwise squared-distance
+	// matrix over the update weight vectors, shared by distance-based rules
+	// (Krum family, Bulyan) so forensic fingerprinting does not recompute
+	// the O(n²·d) geometry the defense already paid for.
+	Distances [][]float64
+}
+
+// Known reports whether the defense exposed its accept/reject decisions.
+func (s Selection) Known() bool { return s.Accepted != nil }
+
+// ScoreRanks maps raw benignness scores onto their average ranks
+// normalized to (0, 1] (ties share their average rank). Rank order — all
+// an ROC sweep consumes — is preserved, while the score scale disappears;
+// it is the probability-integral transform that makes scores from
+// different contexts (hierarchy groups with different geometries, rounds
+// at different training stages) poolable into one sweep.
+func ScoreRanks(scores []float64) []float64 {
+	n := len(scores)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && scores[order[j]] == scores[order[i]] {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // 1-based average rank of the tie group
+		for k := i; k < j; k++ {
+			out[order[k]] = avg / float64(n)
+		}
+		i = j
+	}
+	return out
+}
+
+// SelectAll returns a Selection accepting all n updates, the report of
+// rules that aggregate everything while still exposing their decision.
+func SelectAll(n int) Selection {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return Selection{Accepted: idx}
+}
+
 // Aggregator is a server-side aggregation rule, possibly Byzantine-robust.
 type Aggregator interface {
 	// Name returns the defense's display name.
 	Name() string
-	// Aggregate combines the round's updates into new global weights.
-	// For selection-based defenses (Krum-family, REFD) the second return
-	// value lists the indices of updates included in the aggregate, which
-	// drives the DPR metric; statistics-based defenses (median, trimmed
-	// mean) return nil because "passing" is undefined for them (Eq. 5
-	// discussion in the paper).
-	Aggregate(global []float64, updates []Update) (newGlobal []float64, selected []int, err error)
+	// Aggregate combines the round's updates into new global weights and
+	// reports the rule's Selection. Selection-based defenses (Krum-family,
+	// Bulyan, FoolsGold, REFD) fill Accepted (which drives the DPR metric)
+	// plus their weights/scores; statistics-based defenses (median, trimmed
+	// mean) return a zero Selection because "passing" is undefined for them
+	// (Eq. 5 discussion in the paper).
+	Aggregate(global []float64, updates []Update) (newGlobal []float64, sel Selection, err error)
+}
+
+// AggregationObserver receives every server aggregation decision: the
+// round's updates (whose Malicious flags are the simulator's ground truth),
+// the defense's Selection, and the global weights the updates were judged
+// against. A zero-responder or all-filtered round is reported too — with an
+// empty updates slice or an empty Accepted — so audit streams never skip
+// rounds silently. Implementations are called from the engine goroutine,
+// synchronously, once per aggregation (async buffer flushes included).
+type AggregationObserver interface {
+	ObserveAggregation(round int, global []float64, updates []Update, sel Selection)
 }
 
 // AttackContext is everything the adversary may see in one round. The

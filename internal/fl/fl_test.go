@@ -41,7 +41,7 @@ type meanAggregator struct{ reportSelection bool }
 
 func (meanAggregator) Name() string { return "mean" }
 
-func (m meanAggregator) Aggregate(_ []float64, updates []Update) ([]float64, []int, error) {
+func (m meanAggregator) Aggregate(_ []float64, updates []Update) ([]float64, Selection, error) {
 	out := make([]float64, len(updates[0].Weights))
 	for _, u := range updates {
 		for i, w := range u.Weights {
@@ -52,13 +52,9 @@ func (m meanAggregator) Aggregate(_ []float64, updates []Update) ([]float64, []i
 		out[i] /= float64(len(updates))
 	}
 	if !m.reportSelection {
-		return out, nil, nil
+		return out, Selection{}, nil
 	}
-	sel := make([]int, len(updates))
-	for i := range sel {
-		sel[i] = i
-	}
-	return out, sel, nil
+	return out, SelectAll(len(updates)), nil
 }
 
 // zeroAttack submits all-zero weight vectors (maximally destructive under

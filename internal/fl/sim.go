@@ -40,6 +40,9 @@ type Config struct {
 	// sampler, churn model, server optimizer, sync/async). The zero value
 	// reproduces the paper's fixed federation shape bit-exactly.
 	Scenario Scenario
+	// Observer, when non-nil, receives every aggregation decision — the
+	// forensics audit hook. Pure observation: it never changes results.
+	Observer AggregationObserver
 }
 
 // Validate reports configuration errors.
@@ -193,6 +196,7 @@ func (s *Simulation) Run() (*Result, error) {
 		Attack:       s.attack,
 		Malicious:    s.malicious,
 		NewModel:     s.newModel,
+		Observer:     s.cfg.Observer,
 		// Attackers report a plausible sample count (the mean benign shard
 		// size) so weighted aggregation cannot trivially expose them.
 		AttackSamples: s.meanShardSize(),

@@ -1,0 +1,132 @@
+package flnet
+
+// Forensics-over-sockets regression: the audit observer must see every
+// aggregation of a networked run, including all-filtered and
+// zero-responder rounds (the satellite's "both transports" contract).
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/defense"
+	"repro/internal/fl"
+	"repro/internal/forensics"
+	"repro/internal/vec"
+)
+
+// rejectAllNet reports a known-but-empty selection and keeps the global.
+type rejectAllNet struct{}
+
+func (rejectAllNet) Name() string { return "rejectall" }
+
+func (rejectAllNet) Aggregate(global []float64, _ []fl.Update) ([]float64, fl.Selection, error) {
+	return vec.Clone(global), fl.Selection{Accepted: []int{}}, nil
+}
+
+func TestAllFilteredRoundsAuditedOverSockets(t *testing.T) {
+	f := newNetFixture(t, 31, 2)
+	lis := f.listen(t)
+	col, err := forensics.NewCollector(forensics.Options{Defense: "rejectall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{
+		MinClients:   2,
+		PerRound:     2,
+		Rounds:       2,
+		RoundTimeout: 10 * time.Second,
+		Seed:         3,
+		Observer:     col,
+	}, rejectAllNet{}, f.newModel, f.test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type out struct {
+		res *ServerResult
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, err := srv.Serve(lis)
+		done <- out{res, err}
+	}()
+	addr := lis.Addr().String()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f.runBenign(addr, i, int64(50+i))
+		}(i)
+	}
+	var o out
+	select {
+	case o = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("all-filtered federation wedged")
+	}
+	wg.Wait()
+	if o.err != nil {
+		t.Fatalf("server: %v", o.err)
+	}
+	if len(o.res.Rounds) != 2 {
+		t.Fatalf("server ran %d rounds, want 2", len(o.res.Rounds))
+	}
+	s := col.Summary()
+	if s.Aggregations != 2 || s.ZeroSelectionRounds != 2 {
+		t.Fatalf("audited %d aggregations, %d zero-selection; want 2/2", s.Aggregations, s.ZeroSelectionRounds)
+	}
+	// Over sockets there is no ground truth: every rejection is a benign
+	// false positive, and the rates must be defined (no division by zero).
+	if s.Confusion.FP == 0 || s.Confusion.TP != 0 {
+		t.Fatalf("socket confusion = %+v", s.Confusion)
+	}
+	if s.FPR != 1 {
+		t.Fatalf("FPR = %v, want 1 for an all-filtered benign federation", s.FPR)
+	}
+}
+
+// TestZeroResponderRoundsAuditedOverSockets: a federation whose only client
+// never answers must still produce one zero-selection audit entry per
+// round over the real socket transport.
+func TestZeroResponderRoundsAuditedOverSockets(t *testing.T) {
+	f := newNetFixture(t, 32, 1)
+	lis := f.listen(t)
+	col, err := forensics.NewCollector(forensics.Options{Defense: "fedavg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{
+		MinClients:   1,
+		PerRound:     1,
+		Rounds:       2,
+		RoundTimeout: 300 * time.Millisecond,
+		Seed:         4,
+		Observer:     col,
+	}, defense.FedAvg{}, f.newModel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Serve(lis)
+		done <- err
+	}()
+	go joinSilent(t, lis.Addr().String(), 2*time.Second)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("zero-responder federation wedged")
+	}
+	s := col.Summary()
+	if s.Aggregations != 2 || s.ZeroSelectionRounds != 2 {
+		t.Fatalf("audited %d aggregations, %d zero-selection; want 2/2", s.Aggregations, s.ZeroSelectionRounds)
+	}
+	if s.Updates != 0 {
+		t.Fatalf("zero-responder rounds carried %d updates", s.Updates)
+	}
+}

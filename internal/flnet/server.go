@@ -57,6 +57,11 @@ type ServerConfig struct {
 	// clients the model drops are never contacted, while real stragglers
 	// are dropped by the socket deadline as before.
 	Scenario fl.Scenario
+	// Observer, when non-nil, receives every aggregation decision — the
+	// forensics audit hook. Over sockets the server has no ground-truth
+	// Malicious flags, so detection metrics reduce to decision auditing
+	// unless the caller knows the deployment's adversaries.
+	Observer fl.AggregationObserver
 }
 
 // Validate reports configuration errors.
@@ -199,6 +204,7 @@ func (s *Server) Serve(lis net.Listener) (*ServerResult, error) {
 		Scenario:     s.cfg.Scenario,
 		Transport:    &netTransport{server: s, sessions: sessions},
 		Aggregator:   s.agg,
+		Observer:     s.cfg.Observer,
 		InitialMax:   resumeMax,
 		InitialPrev:  prev,
 	}

@@ -1,0 +1,112 @@
+package forensics
+
+import (
+	"encoding/json"
+	"math"
+	"net"
+	"net/http"
+)
+
+// jf encodes a possibly-NaN float for JSON as a nullable pointer, the
+// run-store convention (encoding/json rejects NaN).
+func jf(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// jsonRoundMetrics is the serialization shape of RoundMetrics.
+type jsonRoundMetrics struct {
+	Round         int  `json:"round"`
+	Seq           int  `json:"seq"`
+	Updates       int  `json:"updates"`
+	Malicious     int  `json:"malicious"`
+	Known         bool `json:"known"`
+	ZeroSelection bool `json:"zeroSelection"`
+	Confusion     `json:"confusion"`
+	TPR           *float64 `json:"tpr"`
+	FPR           *float64 `json:"fpr"`
+	Precision     *float64 `json:"precision"`
+	F1            *float64 `json:"f1"`
+	AUC           *float64 `json:"auc"`
+}
+
+func metricsToJSON(m RoundMetrics) jsonRoundMetrics {
+	return jsonRoundMetrics{
+		Round:         m.Round,
+		Seq:           m.Seq,
+		Updates:       m.Updates,
+		Malicious:     m.Malicious,
+		Known:         m.Known,
+		ZeroSelection: m.ZeroSelection,
+		Confusion:     m.Confusion,
+		TPR:           jf(m.TPR()),
+		FPR:           jf(m.FPR()),
+		Precision:     jf(m.Precision()),
+		F1:            jf(m.F1()),
+		AUC:           jf(m.AUC),
+	}
+}
+
+// jsonRoundAudit is the serialization shape of RoundAudit: the audit
+// journal's line payload and the /rounds endpoint's element.
+type jsonRoundAudit struct {
+	RoundAudit
+	Metrics jsonRoundMetrics `json:"metrics"`
+}
+
+func auditToJSON(ra RoundAudit) jsonRoundAudit {
+	return jsonRoundAudit{RoundAudit: ra, Metrics: metricsToJSON(ra.Metrics)}
+}
+
+// Handler serves the live detection analytics:
+//
+//	GET /metrics  → {"cumulative": Summary, "current": RoundMetrics|null}
+//	GET /rounds   → [RoundAudit…] (the in-memory ring, oldest first)
+//
+// All responses are application/json; NaN-able metrics are null.
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v) // client went away; nothing to do
+	}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		rounds := c.Rounds()
+		var current *jsonRoundMetrics
+		if len(rounds) > 0 {
+			m := metricsToJSON(rounds[len(rounds)-1].Metrics)
+			current = &m
+		}
+		writeJSON(w, struct {
+			Cumulative Summary           `json:"cumulative"`
+			Current    *jsonRoundMetrics `json:"current"`
+		}{c.Summary(), current})
+	})
+	mux.HandleFunc("/rounds", func(w http.ResponseWriter, r *http.Request) {
+		rounds := c.Rounds()
+		out := make([]jsonRoundAudit, len(rounds))
+		for i, ra := range rounds {
+			out[i] = auditToJSON(ra)
+		}
+		writeJSON(w, out)
+	})
+	return mux
+}
+
+// Serve starts the live metrics endpoint on addr (e.g. ":8790", or ":0"
+// for an ephemeral port). It returns the bound address and a shutdown
+// function; the server itself runs in a background goroutine for the
+// lifetime of the run.
+func (c *Collector) Serve(addr string) (string, func() error, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: c.Handler()}
+	go func() { _ = srv.Serve(lis) }()
+	return lis.Addr().String(), srv.Close, nil
+}

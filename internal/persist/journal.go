@@ -22,6 +22,13 @@ type Journal struct {
 	path    string
 	f       *os.File
 	entries map[string]json.RawMessage
+	// streaming marks a write-only journal (OpenJournalStream): payloads
+	// are not retained in memory and appends are not individually synced,
+	// so an unbounded audit stream costs O(1) memory and no fsync stalls.
+	streaming bool
+	// appended counts lines written or replayed (Len in streaming mode,
+	// where the entries map stays empty).
+	appended int
 	// off is the write offset after the last intact line; a failed append
 	// truncates back to it so partial bytes never precede later entries
 	// (mid-file corruption, unlike a torn tail, is unrecoverable).
@@ -41,6 +48,21 @@ type journalLine struct {
 // corrupt final line — the signature of a crash mid-append — is dropped;
 // corruption anywhere earlier is reported as an error.
 func OpenJournal(path string) (*Journal, error) {
+	return openJournal(path, false)
+}
+
+// OpenJournalStream opens the journal as a write-mostly audit stream: the
+// same on-disk format and crash tolerance, but appended payloads are not
+// retained in memory (Lookup reports every key absent) and appends are
+// not individually fsynced — a torn tail on power loss is exactly the
+// recoverable damage replay already handles. Use it for journals that
+// grow with run length (the forensics audit stream), where OpenJournal's
+// replay map would be an unbounded leak and a per-round fsync a stall.
+func OpenJournalStream(path string) (*Journal, error) {
+	return openJournal(path, true)
+}
+
+func openJournal(path string, streaming bool) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("persist: open journal: %w", err)
@@ -53,7 +75,7 @@ func OpenJournal(path string) (*Journal, error) {
 		_ = f.Close()
 		return nil, fmt.Errorf("persist: journal %s is in use by another process: %w", path, err)
 	}
-	j := &Journal{path: path, f: f, entries: make(map[string]json.RawMessage), unlock: unlock}
+	j := &Journal{path: path, f: f, entries: make(map[string]json.RawMessage), streaming: streaming, unlock: unlock}
 	if err := j.replay(); err != nil {
 		unlock()
 		_ = f.Close()
@@ -90,7 +112,10 @@ func (j *Journal) replay() error {
 			pendingErr = fmt.Errorf("persist: journal %s line %d corrupt", j.path, lineNo)
 			continue
 		}
-		j.entries[line.Key] = line.Payload
+		if !j.streaming {
+			j.entries[line.Key] = line.Payload
+		}
+		j.appended++
 		goodBytes += int64(len(raw)) + 1
 	}
 	if err := sc.Err(); err != nil {
@@ -145,13 +170,18 @@ func (j *Journal) Append(key string, payload any) error {
 		_, _ = j.f.Seek(j.off, io.SeekStart)
 		return fmt.Errorf("persist: journal write: %w", err)
 	}
-	if err := j.f.Sync(); err != nil {
-		_ = j.f.Truncate(j.off)
-		_, _ = j.f.Seek(j.off, io.SeekStart)
-		return fmt.Errorf("persist: journal sync: %w", err)
+	if !j.streaming {
+		if err := j.f.Sync(); err != nil {
+			_ = j.f.Truncate(j.off)
+			_, _ = j.f.Seek(j.off, io.SeekStart)
+			return fmt.Errorf("persist: journal sync: %w", err)
+		}
 	}
 	j.off += int64(len(line))
-	j.entries[key] = raw
+	if !j.streaming {
+		j.entries[key] = raw
+	}
+	j.appended++
 	return nil
 }
 
@@ -169,10 +199,14 @@ func (j *Journal) Lookup(key string, payload any) (bool, error) {
 	return true, nil
 }
 
-// Len reports the number of distinct keys in the journal.
+// Len reports the number of distinct keys in the journal (in streaming
+// mode, the number of lines written or replayed).
 func (j *Journal) Len() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.streaming {
+		return j.appended
+	}
 	return len(j.entries)
 }
 
@@ -187,15 +221,22 @@ func (j *Journal) Keys() []string {
 	return keys
 }
 
-// Close releases the lock and the underlying file. Further Appends fail.
+// Close releases the lock and the underlying file, syncing buffered
+// stream appends first. Further Appends fail.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f == nil {
 		return nil
 	}
+	var err error
+	if j.streaming {
+		err = j.f.Sync()
+	}
 	j.unlock()
-	err := j.f.Close()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
 	j.f = nil
 	return err
 }

@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
@@ -189,5 +190,62 @@ func TestJournalConcurrentAppend(t *testing.T) {
 	defer re.Close()
 	if re.Len() != 16 {
 		t.Fatalf("concurrent journal has %d entries, want 16", re.Len())
+	}
+}
+
+// TestJournalStreamMode pins the audit-stream variant: appends retain no
+// payloads in memory (Lookup always misses, Len still counts), the
+// on-disk format stays identical — a standard OpenJournal reads every
+// line back — and reopening a stream journal appends after the existing
+// tail.
+func TestJournalStreamMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	j, err := OpenJournalStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.Append(string(rune('a'+i)), payload{Attack: fmt.Sprintf("x%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var p payload
+	if ok, err := j.Lookup("a", &p); err != nil || ok {
+		t.Fatalf("stream journal should not retain payloads: ok=%v err=%v", ok, err)
+	}
+	if j.Len() != 5 {
+		t.Fatalf("stream Len = %d, want 5", j.Len())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen in stream mode: replay counts but retains nothing, and the
+	// next append lands after the tail.
+	j2, err := OpenJournalStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != 5 {
+		t.Fatalf("reopened stream Len = %d, want 5", j2.Len())
+	}
+	if err := j2.Append("f", payload{Attack: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The format is the standard journal's: a full reader sees all keys.
+	re, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 6 {
+		t.Fatalf("standard reader sees %d entries, want 6", re.Len())
+	}
+	if ok, err := re.Lookup("c", &p); err != nil || !ok || p.Attack != "x2" {
+		t.Fatalf("entry c = %+v ok=%v err=%v", p, ok, err)
 	}
 }

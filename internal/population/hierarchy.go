@@ -71,36 +71,56 @@ func (h *Hierarchical) group(clientID int) int {
 	return g
 }
 
-// Aggregate implements fl.Aggregator.
-func (h *Hierarchical) Aggregate(global []float64, updates []fl.Update) ([]float64, []int, error) {
+// Aggregate implements fl.Aggregator. The returned Selection always
+// carries the per-update group attribution (Selection.Groups); Accepted is
+// composed as described above. Scores are forwarded when every
+// participating group produced a score vector of the same kind, but raw
+// per-group scores are NOT comparable across groups (a Krum distance
+// depends on its group's geometry), so each group's scores are mapped to
+// their within-group average ranks normalized to (0, 1] first — the
+// probability-integral transform that makes a single pooled ROC sweep
+// (the forensics AUC / TPR@FPR reservoir) well-defined. ScoreName gains a
+// "rank:" prefix to mark the transform. One blindness is inherent and
+// deliberate: ranks are relative to the group, so colluders that fully
+// capture a group rank "benign" within it — faithfully reporting that the
+// group-tier score channel cannot see full-group capture (neither can the
+// group's defense; that is what the server tier exists for, and the
+// confusion-matrix channel, which includes the server tier's group
+// filtering, does record those attackers as rejected).
+func (h *Hierarchical) Aggregate(global []float64, updates []fl.Update) ([]float64, fl.Selection, error) {
 	if err := h.Validate(); err != nil {
-		return nil, nil, err
+		return nil, fl.Selection{}, err
 	}
 	if len(updates) == 0 {
-		return nil, nil, errors.New("population: no updates to aggregate")
+		return nil, fl.Selection{}, errors.New("population: no updates to aggregate")
 	}
 
 	// Bucket the round's updates by group, remembering each update's index
 	// in the caller's slice for DPR attribution.
 	buckets := make([][]fl.Update, h.Groups)
 	indices := make([][]int, h.Groups)
+	groupsAttr := make([]int, len(updates))
 	for i, u := range updates {
 		g := h.group(u.ClientID)
 		buckets[g] = append(buckets[g], u)
 		indices[g] = append(indices[g], i)
+		groupsAttr[i] = g
 	}
 
 	// Tier 1: one robust aggregate per non-empty group.
 	var groupUpdates []fl.Update
 	var groupPassed [][]int // global update indices each group let through (nil = unknown)
 	selectionKnown := true
+	scoresKnown := true
+	scoreName := ""
+	scores := make([]float64, len(updates))
 	for g := 0; g < h.Groups; g++ {
 		if len(buckets[g]) == 0 {
 			continue
 		}
 		agg, sel, err := h.Group.Aggregate(global, buckets[g])
 		if err != nil {
-			return nil, nil, fmt.Errorf("population: group %d: %w", g, err)
+			return nil, fl.Selection{}, fmt.Errorf("population: group %d: %w", g, err)
 		}
 		samples := 0
 		for _, u := range buckets[g] {
@@ -113,15 +133,24 @@ func (h *Hierarchical) Aggregate(global []float64, updates []fl.Update) ([]float
 			Weights:    agg,
 			NumSamples: samples,
 		})
-		if sel == nil {
+		if len(sel.Scores) == len(buckets[g]) && sel.ScoreName != "" &&
+			(scoreName == "" || scoreName == "rank:"+sel.ScoreName) {
+			scoreName = "rank:" + sel.ScoreName
+			for i, rank := range fl.ScoreRanks(sel.Scores) {
+				scores[indices[g][i]] = rank
+			}
+		} else {
+			scoresKnown = false
+		}
+		if sel.Accepted == nil {
 			selectionKnown = false
 			groupPassed = append(groupPassed, nil)
 			continue
 		}
-		passed := make([]int, len(sel))
-		for i, local := range sel {
+		passed := make([]int, len(sel.Accepted))
+		for i, local := range sel.Accepted {
 			if local < 0 || local >= len(buckets[g]) {
-				return nil, nil, fmt.Errorf("population: group %d selected out-of-range update %d", g, local)
+				return nil, fl.Selection{}, fmt.Errorf("population: group %d selected out-of-range update %d", g, local)
 			}
 			passed[i] = indices[g][local]
 		}
@@ -131,34 +160,37 @@ func (h *Hierarchical) Aggregate(global []float64, updates []fl.Update) ([]float
 	// Tier 2: the server's robust rule over the group aggregates.
 	final, serverSel, err := h.Server.Aggregate(global, groupUpdates)
 	if err != nil {
-		return nil, nil, fmt.Errorf("population: server tier: %w", err)
+		return nil, fl.Selection{}, fmt.Errorf("population: server tier: %w", err)
+	}
+	out := fl.Selection{Groups: groupsAttr}
+	if scoresKnown && scoreName != "" {
+		out.Scores = scores
+		out.ScoreName = scoreName
 	}
 	if !selectionKnown {
-		return final, nil, nil
+		return final, out, nil
 	}
 	keep := make([]bool, len(groupUpdates))
-	if serverSel == nil {
+	if serverSel.Accepted == nil {
 		for i := range keep {
 			keep[i] = true
 		}
 	} else {
-		for _, gi := range serverSel {
+		for _, gi := range serverSel.Accepted {
 			if gi < 0 || gi >= len(groupUpdates) {
-				return nil, nil, fmt.Errorf("population: server tier selected out-of-range group %d", gi)
+				return nil, fl.Selection{}, fmt.Errorf("population: server tier selected out-of-range group %d", gi)
 			}
 			keep[gi] = true
 		}
 	}
-	var selected []int
+	selected := []int{}
 	for gi, passed := range groupPassed {
 		if keep[gi] {
 			selected = append(selected, passed...)
 		}
 	}
-	if selected == nil {
-		// Selection is known but empty: distinguish from "unknown" so DPR
-		// counts a round where no update passed.
-		selected = []int{}
-	}
-	return final, selected, nil
+	// Selection is known (possibly empty, which DPR counts as a round where
+	// no update passed, unlike the nil "unknown").
+	out.Accepted = selected
+	return final, out, nil
 }

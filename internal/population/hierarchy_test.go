@@ -33,8 +33,11 @@ func TestHierarchicalFedAvgMatchesFlat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sel != nil {
-		t.Fatalf("FedAvg tiers report no selection, got %v", sel)
+	if sel.Known() {
+		t.Fatalf("FedAvg tiers report no selection, got %v", sel.Accepted)
+	}
+	if len(sel.Groups) != len(updates) {
+		t.Fatalf("group attribution missing: %v", sel.Groups)
 	}
 	for i := range flat {
 		if math.Abs(flat[i]-hier[i]) > 1e-9 {
@@ -49,7 +52,7 @@ type pickLocal struct{ idx []int }
 
 func (p pickLocal) Name() string { return "pick" }
 
-func (p pickLocal) Aggregate(_ []float64, updates []fl.Update) ([]float64, []int, error) {
+func (p pickLocal) Aggregate(_ []float64, updates []fl.Update) ([]float64, fl.Selection, error) {
 	var sel []int
 	for _, i := range p.idx {
 		if i < len(updates) {
@@ -62,7 +65,7 @@ func (p pickLocal) Aggregate(_ []float64, updates []fl.Update) ([]float64, []int
 			out[j] += w / float64(len(sel))
 		}
 	}
-	return out, sel, nil
+	return out, fl.Selection{Accepted: sel}, nil
 }
 
 // blendAll is a stub non-selecting tier rule (mean, selection unknown).
@@ -70,14 +73,14 @@ type blendAll struct{}
 
 func (blendAll) Name() string { return "blend" }
 
-func (blendAll) Aggregate(_ []float64, updates []fl.Update) ([]float64, []int, error) {
+func (blendAll) Aggregate(_ []float64, updates []fl.Update) ([]float64, fl.Selection, error) {
 	out := make([]float64, len(updates[0].Weights))
 	for _, u := range updates {
 		for j, w := range u.Weights {
 			out[j] += w / float64(len(updates))
 		}
 	}
-	return out, nil, nil
+	return out, fl.Selection{}, nil
 }
 
 // TestHierarchicalSelectionMapping pins the DPR attribution contract:
@@ -95,8 +98,8 @@ func TestHierarchicalSelectionMapping(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := map[int]bool{0: true, 1: true}
-	if len(sel) != 2 || !want[sel[0]] || !want[sel[1]] {
-		t.Fatalf("selection %v, want callers {0, 1}", sel)
+	if len(sel.Accepted) != 2 || !want[sel.Accepted[0]] || !want[sel.Accepted[1]] {
+		t.Fatalf("selection %v, want callers {0, 1}", sel.Accepted)
 	}
 
 	// Server selecting group 1 only: group 0's passes are filtered out.
@@ -105,8 +108,8 @@ func TestHierarchicalSelectionMapping(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sel) != 2 || sel[0] != 1 || sel[1] != 3 {
-		t.Fatalf("selection %v, want callers [1 3] (group 1's first two)", sel)
+	if len(sel.Accepted) != 2 || sel.Accepted[0] != 1 || sel.Accepted[1] != 3 {
+		t.Fatalf("selection %v, want callers [1 3] (group 1's first two)", sel.Accepted)
 	}
 
 	// Non-selecting group tier: attribution impossible, selection unknown.
@@ -115,8 +118,8 @@ func TestHierarchicalSelectionMapping(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sel != nil {
-		t.Fatalf("non-selecting group tier must yield unknown selection, got %v", sel)
+	if sel.Known() {
+		t.Fatalf("non-selecting group tier must yield unknown selection, got %v", sel.Accepted)
 	}
 }
 
@@ -141,10 +144,26 @@ func TestHierarchicalRobustTiers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sel == nil {
+	if !sel.Known() {
 		t.Fatal("mKrum tiers must report selection")
 	}
-	for _, i := range sel {
+	if sel.ScoreName != "rank:neg-krum-distance" || len(sel.Scores) != len(updates) {
+		t.Fatalf("mKrum tiers should forward rank-normalized per-group scores, got %q (%d)", sel.ScoreName, len(sel.Scores))
+	}
+	for i, s := range sel.Scores {
+		if s <= 0 || s > 1 {
+			t.Fatalf("score %d = %v outside the (0,1] rank range", i, s)
+		}
+	}
+	// Rank normalization must keep the captured group's colluders
+	// comparable to benign updates: within every group the malicious 1000s
+	// rank by their group-local geometry only.
+	for i, s := range sel.Scores {
+		if updates[i].Malicious && s > 0.9 {
+			t.Fatalf("colluding update %d ranked near-benign (%v) after normalization", i, s)
+		}
+	}
+	for _, i := range sel.Accepted {
 		if updates[i].Malicious {
 			t.Fatalf("malicious update %d passed the hierarchy", i)
 		}

@@ -216,6 +216,7 @@ func (s *Simulation) Run() (*fl.Result, error) {
 		Aggregator:   s.agg,
 		Attack:       s.attack,
 		NewModel:     s.newModel,
+		Observer:     s.cfg.Observer,
 		// Attackers report the population's mean shard size so weighted
 		// aggregation cannot trivially expose them.
 		AttackSamples: s.pop.MeanShardSize(),

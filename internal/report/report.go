@@ -53,6 +53,13 @@ type Record struct {
 	Population   string `json:"population,omitempty"`
 	Placement    string `json:"placement,omitempty"`
 	Groups       int    `json:"groups,omitempty"`
+
+	// Detection-quality columns (the forensics subsystem); nil when the run
+	// did not enable forensics, so legacy rows serialize exactly as before.
+	DetectionAUC       *float64 `json:"detectionAUC,omitempty"`
+	DetectionTPRAt1FPR *float64 `json:"detectionTprAt1pctFpr,omitempty"`
+	DetectionTPRPct    *float64 `json:"detectionTprPct,omitempty"`
+	DetectionFPRPct    *float64 `json:"detectionFprPct,omitempty"`
 }
 
 // paperTotalClients is Normalize's default population size; rows carrying
@@ -89,7 +96,22 @@ func FromOutcome(o *experiment.Outcome) Record {
 		dpr := round2(o.DPR)
 		r.DPRPct = &dpr
 	}
+	if d := o.Detection; d != nil {
+		r.DetectionAUC = optRound2(d.AUC)
+		r.DetectionTPRAt1FPR = optRound2(d.TPRAt1FPR)
+		r.DetectionTPRPct = optRound2(d.TPR * 100)
+		r.DetectionFPRPct = optRound2(d.FPR * 100)
+	}
 	return r
+}
+
+// optRound2 rounds v to two decimals as a nullable pointer (nil for NaN).
+func optRound2(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	r := round2(v)
+	return &r
 }
 
 func round2(v float64) float64 {
@@ -118,6 +140,7 @@ var csvHeader = []string{
 	"rounds", "clean_acc_pct", "max_acc_pct", "final_acc_pct", "asr_pct", "dpr_pct",
 	"partition", "sampler", "dropout_prob", "straggler_prob", "async_buffer",
 	"total_clients", "population", "placement", "groups",
+	"detection_auc", "detection_tpr_1pct_fpr", "detection_tpr_pct", "detection_fpr_pct",
 }
 
 // WriteCSV writes the outcomes as CSV with a header row; an undefined DPR
@@ -137,6 +160,12 @@ func WriteCSV(w io.Writer, outs []*experiment.Outcome) error {
 		if r.TotalClients > 0 {
 			totalClients = strconv.Itoa(r.TotalClients)
 		}
+		optCell := func(p *float64) string {
+			if p == nil {
+				return ""
+			}
+			return strconv.FormatFloat(*p, 'f', 2, 64)
+		}
 		row := []string{
 			r.Dataset, r.Attack, r.Defense,
 			strconv.FormatFloat(r.Beta, 'g', -1, 64),
@@ -155,6 +184,10 @@ func WriteCSV(w io.Writer, outs []*experiment.Outcome) error {
 			totalClients,
 			r.Population, r.Placement,
 			strconv.Itoa(r.Groups),
+			optCell(r.DetectionAUC),
+			optCell(r.DetectionTPRAt1FPR),
+			optCell(r.DetectionTPRPct),
+			optCell(r.DetectionFPRPct),
 		}
 		if err := cw.Write(row); err != nil {
 			return err

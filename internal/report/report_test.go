@@ -122,7 +122,7 @@ func TestWriteCSV(t *testing.T) {
 	if len(rows) != 4 {
 		t.Fatalf("got %d rows, want header + 3", len(rows))
 	}
-	if rows[0][0] != "dataset" || rows[0][11] != "dpr_pct" || rows[0][len(rows[0])-1] != "groups" {
+	if rows[0][0] != "dataset" || rows[0][11] != "dpr_pct" || rows[0][20] != "groups" || rows[0][len(rows[0])-1] != "detection_fpr_pct" {
 		t.Fatalf("header wrong: %v", rows[0])
 	}
 	if rows[1][10] != "18.13" {

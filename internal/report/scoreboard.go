@@ -1,0 +1,50 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/experiment"
+)
+
+// DetectionScoreboard writes the cross-defense detection-quality table:
+// one row per (defense, attack, attacker fraction) cell carrying the
+// forensics subsystem's ROC metrics (AUC, TPR at a 1% false-positive
+// budget) next to the operating rates and the paper's DPR, so detection
+// quality can be read against the endpoint metric it explains. Cells
+// without a forensics summary render as N/A.
+func DetectionScoreboard(w io.Writer, outs []*experiment.Outcome) error {
+	rows := append([]*experiment.Outcome(nil), outs...)
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := rows[i].Config, rows[j].Config
+		if a.Defense != b.Defense {
+			return a.Defense < b.Defense
+		}
+		if a.Attack != b.Attack {
+			return a.Attack < b.Attack
+		}
+		return a.AttackerFrac > b.AttackerFrac
+	})
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "defense\tattack\tattacker%%\tAUC\tTPR@1%%FPR\tTPR%%\tFPR%%\tF1\tDPR%%\n")
+	na := func(v float64) string {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return "N/A"
+		}
+		return fmt.Sprintf("%.2f", v)
+	}
+	for _, o := range rows {
+		auc, tprAt, tpr, fpr, f1 := math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN()
+		if d := o.Detection; d != nil {
+			auc, tprAt, f1 = d.AUC, d.TPRAt1FPR, d.F1
+			tpr, fpr = d.TPR*100, d.FPR*100
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%g\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			o.Config.Defense, o.Config.Attack, o.Config.AttackerFrac*100,
+			na(auc), na(tprAt), na(tpr), na(fpr), na(f1), na(o.DPR))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,81 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/forensics"
+)
+
+func detectionOutcome(defense, attack string, frac, auc, tprAt, tpr, fpr float64) *experiment.Outcome {
+	return &experiment.Outcome{
+		Config: experiment.Config{
+			Dataset: "fashion-sim", Attack: attack, Defense: defense,
+			Beta: 0.5, AttackerFrac: frac, Seed: 1, Rounds: 12, Forensics: true,
+		},
+		CleanAcc: 0.85, MaxAcc: 0.8, FinalAcc: 0.79, ASR: 5, DPR: 40,
+		Detection: &forensics.Summary{
+			Defense: defense, ScoreName: "dscore",
+			Aggregations: 12, DecisionRounds: 12,
+			Confusion: forensics.Confusion{TP: 8, FP: 2, TN: 90, FN: 2},
+			TPR:       tpr, FPR: fpr, Precision: 0.8, F1: 0.8,
+			AUC: auc, TPRAt1FPR: tprAt, ScorePairs: 120, ReservoirLen: 120,
+		},
+	}
+}
+
+func TestDetectionScoreboard(t *testing.T) {
+	outs := []*experiment.Outcome{
+		detectionOutcome("refd", "minmax", 0.01, 0.91, 0.55, 0.8, 0.02),
+		detectionOutcome("mkrum", "minmax", 0.2, 0.77, 0.30, 0.6, 0.25),
+		sampleOutcomes()[1], // no forensics: must render as N/A, not crash
+	}
+	var buf bytes.Buffer
+	if err := DetectionScoreboard(&buf, outs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("scoreboard has %d lines, want header + 3:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "AUC") || !strings.Contains(lines[0], "TPR@1%FPR") {
+		t.Fatalf("header missing detection columns: %s", lines[0])
+	}
+	// Sorted by defense: median (no forensics) < mkrum < refd.
+	if !strings.HasPrefix(lines[1], "median") || !strings.HasPrefix(lines[2], "mkrum") || !strings.HasPrefix(lines[3], "refd") {
+		t.Fatalf("rows out of order:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "0.91") || !strings.Contains(lines[3], "0.55") {
+		t.Fatalf("refd row missing AUC/TPR@1%%FPR: %s", lines[3])
+	}
+	if !strings.Contains(lines[1], "N/A") {
+		t.Fatalf("forensics-off row should render N/A: %s", lines[1])
+	}
+}
+
+func TestRecordDetectionColumns(t *testing.T) {
+	r := FromOutcome(detectionOutcome("refd", "minmax", 0.01, 0.913, 0.55, 0.8, 0.021))
+	if r.DetectionAUC == nil || *r.DetectionAUC != 0.91 {
+		t.Fatalf("DetectionAUC = %v", r.DetectionAUC)
+	}
+	if r.DetectionTPRPct == nil || *r.DetectionTPRPct != 80 {
+		t.Fatalf("DetectionTPRPct = %v", r.DetectionTPRPct)
+	}
+	if r.DetectionFPRPct == nil || *r.DetectionFPRPct != 2.1 {
+		t.Fatalf("DetectionFPRPct = %v", r.DetectionFPRPct)
+	}
+	// NaN metrics (no scores) map to nil, and forensics-off rows stay bare.
+	nan := detectionOutcome("mkrum", "lie", 0.2, math.NaN(), math.NaN(), 0.5, 0.1)
+	rn := FromOutcome(nan)
+	if rn.DetectionAUC != nil || rn.DetectionTPRAt1FPR != nil {
+		t.Fatalf("NaN detection metrics should map to nil: %+v", rn)
+	}
+	off := FromOutcome(sampleOutcomes()[0])
+	if off.DetectionAUC != nil || off.DetectionTPRPct != nil {
+		t.Fatal("forensics-off record grew detection fields")
+	}
+}

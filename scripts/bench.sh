@@ -18,6 +18,7 @@ trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -bench . -benchtime "$benchtime" \
 	./internal/tensor ./internal/nn ./internal/defense ./internal/fl \
+	./internal/forensics \
 	| tee "$tmp" >&2
 
 {
