@@ -1,0 +1,40 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Determinism, "fl")
+}
+
+func TestRunKey(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.RunKey, "experiment")
+}
+
+func TestPoolEscape(t *testing.T) {
+	// The arena package itself is exempt (no want comments in tensor);
+	// loading it alongside the client asserts that exemption holds.
+	analysistest.Run(t, "testdata", analysis.PoolEscape, "tensor", "poolclient")
+}
+
+func TestNaNJSON(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NaNJSON, "report")
+}
+
+func TestByName(t *testing.T) {
+	all, err := analysis.ByName("")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 4, nil", len(all), err)
+	}
+	subset, err := analysis.ByName("runkey, nanjson")
+	if err != nil || len(subset) != 2 || subset[0].Name != "runkey" || subset[1].Name != "nanjson" {
+		t.Fatalf("ByName(\"runkey, nanjson\") = %v, err %v", subset, err)
+	}
+	if _, err := analysis.ByName("nosuch"); err == nil {
+		t.Fatal("ByName(\"nosuch\") succeeded; want error")
+	}
+}

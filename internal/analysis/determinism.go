@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// resultPackages are the packages whose code feeds the reproduction's
+// reported numbers: any nondeterminism here breaks the bit-identical
+// worker-count/transport/forensics invariants the paper claims rest on.
+// Matching is by package name so analysistest fixtures exercise the same
+// predicate as the real tree.
+var resultPackages = map[string]bool{
+	"fl": true, "core": true, "defense": true, "tensor": true,
+	"vec": true, "population": true, "forensics": true, "attack": true,
+	"report": true,
+}
+
+// Determinism flags the three nondeterminism leaks the fixed-seed suite
+// cannot reliably catch: top-level math/rand draws (process-global RNG),
+// wall-clock/process-identity seed sources, and map iteration order
+// escaping into order-sensitive accumulation.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: `forbid nondeterminism sources in result-affecting packages
+
+In fl, core, defense, tensor, vec, population, forensics, attack and
+report: (1) math/rand's package-level functions draw from the global RNG,
+which is shared across goroutines and unseedable per run — construct an
+explicit rand.New(rand.NewSource(seed)); (2) time.Now and os.Getpid are
+per-process values, so any seed or result derived from them is
+unreproducible; (3) ranging over a map while appending to an outer slice
+or accumulating into a float leaks the runtime's randomized iteration
+order into results — iterate sorted keys instead (an append that is
+deterministically sorted later in the same function is accepted).`,
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !resultPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkNondeterministicCall(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapRanges(pass, n.Body)
+				}
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkNondeterministicCall flags global-RNG and clock/pid call sites.
+func checkNondeterministicCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn) are the sanctioned form
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		// Constructors (New, NewSource, NewPCG, …) build the explicitly
+		// seeded generators the invariant demands; every other top-level
+		// function draws from the process-global RNG.
+		if !strings.HasPrefix(fn.Name(), "New") {
+			pass.Reportf(call.Pos(),
+				"call to %s.%s draws from the process-global RNG; result-affecting packages must use an explicitly seeded *rand.Rand",
+				fn.Pkg().Path(), fn.Name())
+		}
+	case "time":
+		if fn.Name() == "Now" {
+			pass.Reportf(call.Pos(),
+				"call to time.Now in a result-affecting package: wall-clock-derived values (seeds, tie-breakers) are unreproducible")
+		}
+	case "os":
+		if fn.Name() == "Getpid" {
+			pass.Reportf(call.Pos(),
+				"call to os.Getpid in a result-affecting package: process-identity-derived values (seeds) are unreproducible")
+		}
+	}
+}
+
+// calleeFunc resolves a call's static callee, or nil for indirect calls
+// and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// checkMapRanges scans one function body for map-range loops whose body
+// accumulates into state declared outside the loop in an order-sensitive
+// way: append to a slice (element order = iteration order) or compound
+// float arithmetic (FP non-associativity). Integer accumulation is
+// order-independent and ignored; an appended slice that is sorted later in
+// the same body (sort.* / slices.Sort*) is the canonical sorted-keys idiom
+// and accepted.
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		keyObj := rangeKeyObj(info, rng)
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			switch as.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range as.Lhs {
+					checkFloatAccumulate(pass, info, rng, keyObj, lhs)
+				}
+			case token.ASSIGN, token.DEFINE:
+				for i, rhs := range as.Rhs {
+					if i >= len(as.Lhs) {
+						break
+					}
+					checkOrderedAppend(pass, info, body, rng, as.Lhs[i], rhs)
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// rangeKeyObj returns the loop's key variable object, if any.
+func rangeKeyObj(info *types.Info, rng *ast.RangeStmt) types.Object {
+	id, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// checkFloatAccumulate flags `x op= …` inside a map range when x is
+// floating-point state declared outside the loop. Writes to m[k] — one
+// distinct element per iteration — are order-independent and skipped.
+func checkFloatAccumulate(pass *Pass, info *types.Info, rng *ast.RangeStmt, keyObj types.Object, lhs ast.Expr) {
+	t := info.TypeOf(lhs)
+	if t == nil || !isFloat(t) {
+		return
+	}
+	if idx, ok := lhs.(*ast.IndexExpr); ok && keyObj != nil {
+		if id, ok := ast.Unparen(idx.Index).(*ast.Ident); ok && info.Uses[id] == keyObj {
+			return // m[k] op= v touches a distinct element per iteration
+		}
+	}
+	if obj := rootObj(info, lhs); obj != nil && obj.Pos() > rng.Pos() && obj.Pos() < rng.End() {
+		return // loop-local accumulator never leaves the iteration
+	}
+	pass.Reportf(lhs.Pos(),
+		"floating-point accumulation inside a map range: iteration order changes the FP rounding of the result; iterate sorted keys")
+}
+
+// checkOrderedAppend flags `s = append(s, …)` inside a map range when s is
+// declared outside the loop and never deterministically sorted afterwards
+// in the same function body.
+func checkOrderedAppend(pass *Pass, info *types.Info, body *ast.BlockStmt, rng *ast.RangeStmt, lhs, rhs ast.Expr) {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return // shadowed: not the append builtin
+	}
+	obj := rootObj(info, lhs)
+	if obj == nil || (obj.Pos() > rng.Pos() && obj.Pos() < rng.End()) {
+		return // appending to loop-local state
+	}
+	if sortedAfter(info, body, rng, obj) {
+		return
+	}
+	pass.Reportf(lhs.Pos(),
+		"append to %s inside a map range leaks iteration order; sort it afterwards or iterate sorted keys", obj.Name())
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices ordering
+// function after the range loop within the same function body.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || sorted {
+			return !sorted
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if rootObj(info, arg) == obj {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// rootObj resolves the variable at the root of an lvalue chain
+// (x, x.f, x[i], *x, …).
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[v]; obj != nil {
+				return obj
+			}
+			return info.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// RunKey machine-checks the run-store key-stability contract on
+// experiment.Config: runKey hashes the JSON of a normalized Config, so the
+// struct's serialized shape IS the identity of every journaled run. The
+// contract has three clauses:
+//
+//  1. The untagged field prefix is the frozen legacy shape — pre-engine
+//     journals hash it byte-for-byte. Every field added after the first
+//     json-tagged field must carry ",omitempty" (zero default ⇒ legacy
+//     configs marshal unchanged) or `json:"-"` (never serialized).
+//  2. A tag without omitempty (and not "-") changes every legacy key the
+//     moment the field exists, breaking -resume against old journals.
+//  3. Every tagged field must be reachable from Normalize or cleanKey:
+//     omitempty only preserves keys if the default canonicalizes to the
+//     zero value, and that canonicalization (or an explicit keying/validity
+//     decision) lives in those two functions.
+var RunKey = &Analyzer{
+	Name: "runkey",
+	Doc: `enforce run-store key stability on experiment.Config
+
+Every field of experiment.Config added after the frozen legacy prefix must
+carry json:",omitempty" or json:"-", and every tagged field must be
+referenced from Normalize or cleanKey, so a new sweep axis can never
+silently re-key legacy journals or skip zero-default canonicalization.`,
+	Run: runRunKey,
+}
+
+func runRunKey(pass *Pass) error {
+	if pass.Pkg.Name() != "experiment" {
+		return nil
+	}
+	cfg := findStruct(pass, "Config")
+	if cfg == nil {
+		return nil
+	}
+	mentioned := normalizeMentions(pass)
+	seenTagged := false
+	for _, field := range cfg.Fields.List {
+		if len(field.Names) == 0 {
+			pass.Reportf(field.Pos(),
+				"embedded field in experiment.Config: promoted fields make the serialized key shape implicit; declare fields explicitly")
+			continue
+		}
+		tag := ""
+		hasTag := false
+		if field.Tag != nil {
+			raw := strings.Trim(field.Tag.Value, "`")
+			tag, hasTag = reflect.StructTag(raw).Lookup("json")
+		}
+		for _, name := range field.Names {
+			if !name.IsExported() {
+				pass.Reportf(name.Pos(),
+					"unexported field %s in experiment.Config never serializes: two configs differing in it would collide on one run-store key", name.Name)
+				continue
+			}
+			if !hasTag {
+				if seenTagged {
+					pass.Reportf(name.Pos(),
+						"field %s extends experiment.Config without a json tag: new fields must carry json:\",omitempty\" or json:\"-\" so legacy run-store keys survive", name.Name)
+				}
+				// Untagged legacy prefix: frozen shape, nothing to check.
+				continue
+			}
+			parts := strings.Split(tag, ",")
+			skip := parts[0] == "-" && len(parts) == 1
+			omitempty := false
+			for _, opt := range parts[1:] {
+				if opt == "omitempty" {
+					omitempty = true
+				}
+			}
+			if !skip && !omitempty {
+				pass.Reportf(name.Pos(),
+					"field %s of experiment.Config is serialized without omitempty: its presence re-keys every legacy config; tag it json:\",omitempty\" or json:\"-\"", name.Name)
+			}
+			if !mentioned[name.Name] {
+				pass.Reportf(name.Pos(),
+					"field %s of experiment.Config is not reachable from Normalize or cleanKey: zero-default canonicalization (and the baseline-keying decision) is unverified", name.Name)
+			}
+		}
+		if hasTag {
+			seenTagged = true
+		}
+	}
+	return nil
+}
+
+// findStruct locates the named struct type's declaration in the package.
+func findStruct(pass *Pass, name string) *ast.StructType {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != name {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					return st
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// normalizeMentions collects the Config field names selected anywhere in
+// the bodies of Normalize and cleanKey.
+func normalizeMentions(pass *Pass) map[string]bool {
+	mentioned := map[string]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			if fd.Name.Name != "Normalize" && fd.Name.Name != "cleanKey" {
+				continue
+			}
+			if !receiverIsConfig(pass, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s, ok := pass.TypesInfo.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				if named, ok := derefNamed(s.Recv()); ok && named.Obj().Name() == "Config" && named.Obj().Pkg() == pass.Pkg {
+					mentioned[sel.Sel.Name] = true
+				}
+				return true
+			})
+		}
+	}
+	return mentioned
+}
+
+// receiverIsConfig reports whether fd's receiver base type is this
+// package's Config.
+func receiverIsConfig(pass *Pass, fd *ast.FuncDecl) bool {
+	if len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	named, ok := derefNamed(t)
+	return ok && named.Obj().Name() == "Config" && named.Obj().Pkg() == pass.Pkg
+}
+
+// derefNamed unwraps pointers and aliases to the underlying named type.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if t == nil {
+		return nil, false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	return named, ok
+}

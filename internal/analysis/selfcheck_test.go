@@ -1,0 +1,31 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestRepoClean is the meta-invariant: the whole repository passes its own
+// analyzer suite. Every deliberate violation must carry a reasoned
+// //lint:allow, so this test failing means either a real regression or an
+// undocumented exemption.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole repo")
+	}
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("load repo: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("load repo: no packages")
+	}
+	diags := analysis.Run(pkgs, analysis.All())
+	for _, d := range diags {
+		t.Errorf("%s: %s: %s", pkgs[0].Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("fllint reports %d violation(s) on the repository", len(diags))
+	}
+}

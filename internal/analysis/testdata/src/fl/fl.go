@@ -1,0 +1,97 @@
+// Fixture for the determinism analyzer: package name "fl" puts it in the
+// result-affecting set, so global-RNG draws, wall-clock/pid seeds, and
+// map-iteration-order leaks must all be flagged, while the sanctioned
+// idioms (explicit *rand.Rand, sorted-keys, integer counting) stay silent.
+package fl
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+func globalDraw() int {
+	return rand.Intn(10) // want `draws from the process-global RNG`
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want `draws from the process-global RNG`
+}
+
+func clockSeed() int64 {
+	return time.Now().UnixNano() // want `call to time.Now`
+}
+
+func pidSeed() int {
+	return os.Getpid() // want `call to os.Getpid`
+}
+
+func mapAccumulate(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation inside a map range`
+	}
+	return sum
+}
+
+func mapAppend(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside a map range leaks iteration order`
+	}
+	return keys
+}
+
+// seeded is the sanctioned form: methods on an explicitly seeded
+// *rand.Rand are not global-RNG draws.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// sortedKeys is the canonical sorted-keys idiom: the appended slice is
+// deterministically ordered before it can affect anything.
+func sortedKeys(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// intCount accumulates integers, which is iteration-order-independent.
+func intCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// perElement writes one distinct element per iteration; no order leak.
+func perElement(m map[string]float64, scale map[string]float64) {
+	for k := range m {
+		scale[k] += m[k]
+	}
+}
+
+// loopLocal accumulates into state that never leaves the iteration.
+func loopLocal(m map[string][]float64) []float64 {
+	var out []float64
+	for k := range m {
+		s := 0.0
+		for _, v := range m[k] {
+			s += v
+		}
+		out = append(out, s)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// exempted demonstrates the //lint:allow escape hatch.
+func exempted() int64 {
+	return time.Now().UnixNano() //lint:allow determinism fixture exercises the exemption path
+}

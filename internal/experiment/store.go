@@ -43,7 +43,9 @@ func runKey(cfg Config, seeds int) (string, error) {
 	if seeds < 1 {
 		seeds = 1
 	}
-	raw, err := json.Marshal(c)
+	// The identity hash must fail loudly on a non-finite parameter: mapping
+	// NaN to null here would silently alias distinct configs onto one key.
+	raw, err := json.Marshal(c) //lint:allow nanjson key derivation must error on non-finite params, not alias them
 	if err != nil {
 		return "", fmt.Errorf("experiment: key: %w", err)
 	}

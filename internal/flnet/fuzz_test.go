@@ -1,0 +1,80 @@
+package flnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"net"
+	"testing"
+	"time"
+)
+
+// byteConn adapts a byte buffer to net.Conn so the framing/decoding path
+// can be driven without sockets: reads drain the buffer, writes are
+// discarded, deadlines are no-ops.
+type byteConn struct {
+	r *bytes.Reader
+}
+
+func (c *byteConn) Read(p []byte) (int, error)         { return c.r.Read(p) }
+func (c *byteConn) Write(p []byte) (int, error)        { return len(p), nil }
+func (c *byteConn) Close() error                       { return nil }
+func (c *byteConn) LocalAddr() net.Addr                { return nil }
+func (c *byteConn) RemoteAddr() net.Addr               { return nil }
+func (c *byteConn) SetDeadline(t time.Time) error      { return nil }
+func (c *byteConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *byteConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// encodeEnvelopes renders envelopes to wire bytes through the real Send
+// path, for seed corpus construction.
+func encodeEnvelopes(tb testing.TB, envs ...*Envelope) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&lengthPrefixWriter{raw: &buf})
+	for _, e := range envs {
+		if err := enc.Encode(e); err != nil {
+			tb.Fatalf("encode seed: %v", err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// FuzzProtocolDecode feeds arbitrary bytes to the server-facing decode
+// path (length-prefix reassembly + gob) and checks it fails closed: Recv
+// never panics and never spins — every call either yields an envelope or
+// a terminal error, and corrupted length prefixes are rejected before
+// allocation, not trusted.
+func FuzzProtocolDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})             // zero-length frame: invalid
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // frame beyond maxFrameSize
+	f.Add([]byte{0, 0, 0, 4, 1, 2})       // truncated frame body
+	f.Add(encodeEnvelopes(f, &Envelope{Type: MsgJoin}))
+	f.Add(encodeEnvelopes(f,
+		&Envelope{Type: MsgJoinAck, ClientID: 3},
+		&Envelope{Type: MsgTrainRequest, Round: 1, Weights: []float64{0.5, -2}, PrevWeights: []float64{0, 0}},
+		&Envelope{Type: MsgUpdate, Round: 1, ClientID: 3, Weights: []float64{1, 2}, NumSamples: 7},
+		&Envelope{Type: MsgDone, Weights: []float64{0.25}},
+	))
+	// A valid session with its final length prefix corrupted upward.
+	tail := encodeEnvelopes(f, &Envelope{Type: MsgJoin})
+	binary.BigEndian.PutUint32(tail[len(tail)-4:], maxFrameSize+1)
+	f.Add(tail)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		conn := NewConn(&byteConn{r: bytes.NewReader(bytes.Clone(data))}, 0)
+		defer conn.Close()
+		// The input holds at most len(data) frames; anything still decoding
+		// after that many Recvs is consuming zero bytes per call.
+		for i := 0; i <= len(data)+1; i++ {
+			e, err := conn.Recv()
+			if err != nil {
+				return // fail-closed: decoding stopped with a terminal error
+			}
+			if e == nil {
+				t.Fatal("Recv returned nil envelope with nil error")
+			}
+		}
+		t.Fatalf("Recv yielded more envelopes than input frames (%d bytes)", len(data))
+	})
+}

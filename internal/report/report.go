@@ -114,6 +114,144 @@ func optRound2(v float64) *float64 {
 	return &r
 }
 
+// recordJSON is Record's one serialization shape, with every NaN-able
+// float as a nullable pointer (encoding/json rejects NaN; the run-store
+// convention is NaN→null). Finite values serialize byte-identically to the
+// old raw-float shape, so legacy rows are unchanged; the omitempty floats
+// collapse both 0 and NaN to omission, which is exactly the legacy shape
+// for their zero defaults.
+type recordJSON struct {
+	Dataset      string   `json:"dataset"`
+	Attack       string   `json:"attack"`
+	Defense      string   `json:"defense"`
+	Beta         *float64 `json:"beta"`
+	AttackerFrac *float64 `json:"attackerFrac"`
+	Seed         int64    `json:"seed"`
+	Rounds       int      `json:"rounds"`
+	CleanAccPct  *float64 `json:"cleanAccPct"`
+	MaxAccPct    *float64 `json:"maxAccPct"`
+	FinalAccPct  *float64 `json:"finalAccPct"`
+	ASRPct       *float64 `json:"asrPct"`
+	DPRPct       *float64 `json:"dprPct"`
+
+	Partition     string   `json:"partition,omitempty"`
+	Sampler       string   `json:"sampler,omitempty"`
+	DropoutProb   *float64 `json:"dropoutProb,omitempty"`
+	StragglerProb *float64 `json:"stragglerProb,omitempty"`
+	AsyncBuffer   int      `json:"asyncBuffer,omitempty"`
+
+	TotalClients int    `json:"totalClients,omitempty"`
+	Population   string `json:"population,omitempty"`
+	Placement    string `json:"placement,omitempty"`
+	Groups       int    `json:"groups,omitempty"`
+
+	DetectionAUC       *float64 `json:"detectionAUC,omitempty"`
+	DetectionTPRAt1FPR *float64 `json:"detectionTprAt1pctFpr,omitempty"`
+	DetectionTPRPct    *float64 `json:"detectionTprPct,omitempty"`
+	DetectionFPRPct    *float64 `json:"detectionFprPct,omitempty"`
+}
+
+// nanGuard encodes a possibly-NaN float as a nullable pointer.
+func nanGuard(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// omitGuard is nanGuard for omitempty fields: zero (the omitted legacy
+// default) and non-finite values both collapse to omission.
+func omitGuard(v float64) *float64 {
+	if v == 0 {
+		return nil
+	}
+	return nanGuard(v)
+}
+
+// unguard decodes a nullable float; null means the writer guarded a NaN.
+func unguard(p *float64) float64 {
+	if p == nil {
+		return math.NaN()
+	}
+	return *p
+}
+
+// MarshalJSON implements json.Marshaler with the nullable-float shape: an
+// unevaluated or N/A metric (NaN) exports as null instead of failing the
+// entire write at the end of a long sweep.
+func (r Record) MarshalJSON() ([]byte, error) {
+	return json.Marshal(recordJSON{
+		Dataset:            r.Dataset,
+		Attack:             r.Attack,
+		Defense:            r.Defense,
+		Beta:               nanGuard(r.Beta),
+		AttackerFrac:       nanGuard(r.AttackerFrac),
+		Seed:               r.Seed,
+		Rounds:             r.Rounds,
+		CleanAccPct:        nanGuard(r.CleanAccPct),
+		MaxAccPct:          nanGuard(r.MaxAccPct),
+		FinalAccPct:        nanGuard(r.FinalAccPct),
+		ASRPct:             nanGuard(r.ASRPct),
+		DPRPct:             r.DPRPct,
+		Partition:          r.Partition,
+		Sampler:            r.Sampler,
+		DropoutProb:        omitGuard(r.DropoutProb),
+		StragglerProb:      omitGuard(r.StragglerProb),
+		AsyncBuffer:        r.AsyncBuffer,
+		TotalClients:       r.TotalClients,
+		Population:         r.Population,
+		Placement:          r.Placement,
+		Groups:             r.Groups,
+		DetectionAUC:       r.DetectionAUC,
+		DetectionTPRAt1FPR: r.DetectionTPRAt1FPR,
+		DetectionTPRPct:    r.DetectionTPRPct,
+		DetectionFPRPct:    r.DetectionFPRPct,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler: null metrics decode to NaN,
+// and omitted omitempty floats decode to their zero defaults.
+func (r *Record) UnmarshalJSON(data []byte) error {
+	var raw recordJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	zero := func(p *float64) float64 {
+		if p == nil {
+			return 0
+		}
+		return *p
+	}
+	*r = Record{
+		Dataset:            raw.Dataset,
+		Attack:             raw.Attack,
+		Defense:            raw.Defense,
+		Beta:               unguard(raw.Beta),
+		AttackerFrac:       unguard(raw.AttackerFrac),
+		Seed:               raw.Seed,
+		Rounds:             raw.Rounds,
+		CleanAccPct:        unguard(raw.CleanAccPct),
+		MaxAccPct:          unguard(raw.MaxAccPct),
+		FinalAccPct:        unguard(raw.FinalAccPct),
+		ASRPct:             unguard(raw.ASRPct),
+		DPRPct:             raw.DPRPct,
+		Partition:          raw.Partition,
+		Sampler:            raw.Sampler,
+		DropoutProb:        zero(raw.DropoutProb),
+		StragglerProb:      zero(raw.StragglerProb),
+		AsyncBuffer:        raw.AsyncBuffer,
+		TotalClients:       raw.TotalClients,
+		Population:         raw.Population,
+		Placement:          raw.Placement,
+		Groups:             raw.Groups,
+		DetectionAUC:       raw.DetectionAUC,
+		DetectionTPRAt1FPR: raw.DetectionTPRAt1FPR,
+		DetectionTPRPct:    raw.DetectionTPRPct,
+		DetectionFPRPct:    raw.DetectionFPRPct,
+	}
+	return nil
+}
+
 func round2(v float64) float64 {
 	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return v
