@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/attack"
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/fl"
@@ -44,7 +46,12 @@ func run(args []string) error {
 	samples := fs.Int("samples", 20, "DFA: synthetic set size |S|")
 	seed := fs.Int64("seed", 1, "random seed (benign shards must share the server's dataset seed)")
 	timeout := fs.Duration("timeout", 60*time.Second, "connection timeout")
+	codecToken := fs.String("codec", "", "update codec to negotiate at join, as a codec spec token: raw, fp16, int8, optionally with ,topk=<frac> and ,ef — must match the server's -codec (empty = legacy dense updates)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	codecSpec, err := codec.ParseSpec(*codecToken)
+	if err != nil {
 		return err
 	}
 
@@ -61,11 +68,19 @@ func run(args []string) error {
 		return err
 	}
 
-	client, err := flnet.Dial(*addr, trainer, *timeout)
+	client, err := flnet.DialCodec(*addr, trainer, *timeout, codecSpec)
 	if err != nil {
+		var rej *flnet.CodecRejectedError
+		if errors.As(err, &rej) {
+			return fmt.Errorf("server refused codec %q before round start: %s (retry with a matching -codec)", rej.Codec, rej.Reason)
+		}
 		return err
 	}
-	fmt.Printf("flclient: joined as client %d (role=%s)\n", client.ID, *role)
+	negotiated := codecSpec.String()
+	if negotiated == "" {
+		negotiated = "none"
+	}
+	fmt.Printf("flclient: joined as client %d (role=%s codec=%s)\n", client.ID, *role, negotiated)
 	final, err := client.Run()
 	if err != nil {
 		return err

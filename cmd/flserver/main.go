@@ -19,6 +19,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/defense"
@@ -63,7 +64,12 @@ func run(args []string) error {
 	asyncDelay := fs.Int("async-delay", 0, "max simulated update arrival delay in rounds for async mode (0 = 2)")
 	forensicsAddr := fs.String("forensics-addr", "", "serve live defense-decision audit metrics over HTTP at this address, e.g. :8790 (empty = off)")
 	auditPath := fs.String("audit", "", "JSONL audit-journal path for per-round defense decisions and update fingerprints (empty = off)")
+	codecToken := fs.String("codec", "", "update codec served to clients, as a codec spec token: raw, fp16, int8, optionally with ,topk=<frac> and ,ef — e.g. int8,topk=0.1,ef (empty = legacy dense updates only; legacy clients are always served)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	codecSpec, err := codec.ParseSpec(*codecToken)
+	if err != nil {
 		return err
 	}
 	// The scenario flags share experiment.Config's normalization and
@@ -156,6 +162,7 @@ func run(args []string) error {
 		ModelName:        "paper-cnn",
 		Scenario:         scenario,
 		Observer:         observer,
+		Codec:            codecSpec.String(),
 	}, agg, newModel, test)
 	if err != nil {
 		return err
@@ -166,8 +173,12 @@ func run(args []string) error {
 		return err
 	}
 	defer lis.Close()
-	fmt.Printf("flserver: listening on %s, waiting for %d clients (defense=%s dataset=%s)\n",
-		lis.Addr(), *clients, *defName, spec.Name)
+	serveCodec := codecSpec.String()
+	if serveCodec == "" {
+		serveCodec = "none"
+	}
+	fmt.Printf("flserver: listening on %s, waiting for %d clients (defense=%s dataset=%s codec=%s)\n",
+		lis.Addr(), *clients, *defName, spec.Name, serveCodec)
 
 	res, err := srv.Serve(lis)
 	if err != nil {

@@ -64,6 +64,9 @@ func run(args []string) error {
 	fs.StringVar(&cfg.Placement, "placement", "first", "attacker placement: first (legacy first-K IDs), scatter (seeded spread), sybil (contiguous burst-join block), sizecorr (proportional to shard size)")
 	fs.IntVar(&cfg.Groups, "groups", 0, "hierarchical aggregation with this many group aggregators (0 = flat server)")
 	fs.StringVar(&cfg.GroupDefense, "group-defense", "", "per-group tier-1 rule for -groups (empty = same as -defense)")
+	fs.StringVar(&cfg.Codec, "codec", "none", "update compression: none, raw (lossless transport reshaping), fp16 (half-precision deltas), int8 (block-scaled stochastic 8-bit deltas)")
+	fs.Float64Var(&cfg.TopK, "topk", 0, "keep only this fraction of largest-magnitude delta coordinates per update, in (0,1) (0 = dense; requires -codec)")
+	fs.BoolVar(&cfg.ErrorFeedback, "error-feedback", false, "carry each round's quantization/sparsification residual into the client's next update (requires a lossy -codec)")
 	fs.BoolVar(&cfg.Forensics, "forensics", false, "audit every defense decision and stream detection metrics (TPR/FPR/AUC vs ground truth)")
 	fs.StringVar(&cfg.AuditPath, "audit", "", "JSONL audit-journal path: one line per aggregation with per-update fingerprints, decisions and scores (implies -forensics)")
 	fs.StringVar(&cfg.ForensicsAddr, "forensics-addr", "", "serve live detection metrics over HTTP at this address for the run's duration, e.g. :8790 (implies -forensics)")
@@ -117,6 +120,10 @@ func run(args []string) error {
 		fmt.Printf("population: backend=%s N=%d mean-shard=%d placement=%s groups=%d\n",
 			out.Config.Population, out.Config.TotalClients, out.Config.MeanShard,
 			placement, out.Config.Groups)
+	}
+	if out.Config.Codec != "" {
+		fmt.Printf("codec: %s topk=%g error-feedback=%t\n",
+			out.Config.Codec, out.Config.TopK, out.Config.ErrorFeedback)
 	}
 	if d := out.Detection; d != nil {
 		na := func(v float64) string {

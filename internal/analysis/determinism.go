@@ -15,7 +15,7 @@ import (
 var resultPackages = map[string]bool{
 	"fl": true, "core": true, "defense": true, "tensor": true,
 	"vec": true, "population": true, "forensics": true, "attack": true,
-	"report": true,
+	"report": true, "codec": true,
 }
 
 // Determinism flags the three nondeterminism leaks the fixed-seed suite
@@ -26,8 +26,8 @@ var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: `forbid nondeterminism sources in result-affecting packages
 
-In fl, core, defense, tensor, vec, population, forensics, attack and
-report: (1) math/rand's package-level functions draw from the global RNG,
+In fl, core, defense, tensor, vec, population, forensics, attack, report
+and codec: (1) math/rand's package-level functions draw from the global RNG,
 which is shared across goroutines and unseedable per run — construct an
 explicit rand.New(rand.NewSource(seed)); (2) time.Now and os.Getpid are
 per-process values, so any seed or result derived from them is

@@ -1,0 +1,82 @@
+package codec
+
+import "math"
+
+// IEEE 754 binary16 conversion. The codec defines fp16 encoding as the
+// two-step float64→float32→float16 conversion with round-to-nearest-even at
+// each step; the decoder's float16→float64 lift is exact, so values that
+// are already representable in binary16 round-trip bit-identically (the
+// property the wire re-encode of a decoded frame relies on). Finite values
+// beyond the binary16 range saturate to ±65504 instead of overflowing to
+// infinity, keeping reconstructed models finite.
+
+// f64ToF16 converts v to binary16 bits.
+func f64ToF16(v float64) uint16 {
+	return f32ToF16(float32(v))
+}
+
+// f32ToF16 converts f to binary16 bits with round-to-nearest-even.
+func f32ToF16(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23&0xFF) - 127 + 15
+	man := b & 0x7FFFFF
+
+	if b&0x7FFFFFFF == 0 {
+		return sign // ±0
+	}
+	if b>>23&0xFF == 0xFF {
+		if man != 0 {
+			return sign | 0x7E00 // NaN
+		}
+		return sign | 0x7C00 // ±Inf
+	}
+	if exp >= 0x1F {
+		return sign | 0x7BFF // saturate finite overflow to ±65504
+	}
+	if exp <= 0 {
+		// Subnormal half (or underflow to zero).
+		if exp < -10 {
+			return sign
+		}
+		man |= 0x800000
+		shift := uint32(14 - exp) // drop 13 + (1-exp) mantissa bits
+		half := uint16(man >> shift)
+		dropped := man & (1<<shift - 1)
+		halfway := uint32(1) << (shift - 1)
+		if dropped > halfway || (dropped == halfway && half&1 == 1) {
+			half++ // may carry into the exponent: still a valid encoding
+		}
+		return sign | half
+	}
+	h := sign | uint16(exp)<<10 | uint16(man>>13)
+	dropped := man & 0x1FFF
+	if dropped > 0x1000 || (dropped == 0x1000 && h&1 == 1) {
+		h++ // mantissa carry rolls into the exponent correctly
+	}
+	if h&0x7FFF >= 0x7C00 {
+		return sign | 0x7BFF // rounding crossed into Inf: saturate
+	}
+	return h
+}
+
+// f16ToF64 lifts binary16 bits to float64 exactly.
+func f16ToF64(h uint16) float64 {
+	sign := 1.0
+	if h&0x8000 != 0 {
+		sign = -1
+	}
+	exp := int(h >> 10 & 0x1F)
+	man := float64(h & 0x3FF)
+	switch exp {
+	case 0:
+		return sign * math.Ldexp(man, -24)
+	case 0x1F:
+		if man != 0 {
+			return math.NaN()
+		}
+		return sign * math.Inf(1)
+	default:
+		return sign * math.Ldexp(1024+man, exp-25)
+	}
+}

@@ -1,0 +1,217 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire layout of one codec frame (all integers little-endian):
+//
+//	[0]    magic 0xC6
+//	[1]    version 0x01
+//	[2]    kind (Raw/FP16/Int8)
+//	[3]    flags: bit0 sparse, bit1 error-feedback
+//	[4:8]  dim   uint32
+//	[8:16] topk  float64 bits (0 when dense)
+//	[16:20] k    uint32 — kept-coordinate count; 0 when dense
+//	— sparse only — k × uint32 coordinate indices, strictly ascending < dim
+//	— values, n = k (sparse) or dim (dense) —
+//	  raw:  n × float64
+//	  fp16: n × uint16 (binary16 bits)
+//	  int8: uint32 nblocks (= ⌈n/256⌉), nblocks × float64 scales, n × int8
+//
+// The total length must be consumed exactly. Decode is fail-closed: every
+// declared size is validated against the remaining byte count before any
+// allocation, so a tiny hostile frame cannot trigger a large allocation —
+// decode allocates O(len(data)) at most.
+
+const (
+	wireMagic   = 0xC6
+	wireVersion = 0x01
+	wireHeader  = 20
+
+	flagSparse = 1 << 0
+	flagEF     = 1 << 1
+)
+
+// EncodeWire serializes the frame.
+func EncodeWire(f *Frame) []byte {
+	n := f.quantLen()
+	size := wireHeader + 4*len(f.Idx)
+	switch f.Spec.Quant {
+	case Raw:
+		size += 8 * n
+	case FP16:
+		size += 2 * n
+	case Int8:
+		size += 4 + 8*len(f.Scales) + n
+	}
+	out := make([]byte, 0, size)
+	out = append(out, wireMagic, wireVersion, byte(f.Spec.Quant), 0)
+	if f.Idx != nil {
+		out[3] |= flagSparse
+	}
+	if f.Spec.EF {
+		out[3] |= flagEF
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(f.Dim))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(f.Spec.TopK))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(f.Idx)))
+	for _, id := range f.Idx {
+		out = binary.LittleEndian.AppendUint32(out, uint32(id))
+	}
+	switch f.Spec.Quant {
+	case Raw:
+		for _, v := range f.Val {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+		}
+	case FP16:
+		for _, v := range f.Val {
+			out = binary.LittleEndian.AppendUint16(out, f64ToF16(v))
+		}
+	case Int8:
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(f.Scales)))
+		for _, s := range f.Scales {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(s))
+		}
+		for _, q := range f.Q {
+			out = append(out, byte(q))
+		}
+	}
+	return out
+}
+
+// DecodeWire parses and validates a frame. maxDim bounds the accepted model
+// dimension (callers pass the session's known dimension). Errors are
+// terminal: a frame that fails any check yields no partial state.
+func DecodeWire(data []byte, maxDim int) (*Frame, error) {
+	if len(data) < wireHeader {
+		return nil, fmt.Errorf("codec: frame too short (%d bytes)", len(data))
+	}
+	if data[0] != wireMagic || data[1] != wireVersion {
+		return nil, fmt.Errorf("codec: bad magic/version %#02x %#02x", data[0], data[1])
+	}
+	kind := Kind(data[2])
+	switch kind {
+	case Raw, FP16, Int8:
+	default:
+		return nil, fmt.Errorf("codec: unknown kind %d", data[2])
+	}
+	flags := data[3]
+	if flags&^(flagSparse|flagEF) != 0 {
+		return nil, fmt.Errorf("codec: unknown flags %#02x", flags)
+	}
+	dim64 := binary.LittleEndian.Uint32(data[4:8])
+	topk := math.Float64frombits(binary.LittleEndian.Uint64(data[8:16]))
+	k64 := binary.LittleEndian.Uint32(data[16:20])
+	if dim64 == 0 || int64(dim64) > int64(maxDim) {
+		return nil, fmt.Errorf("codec: dim %d out of (0,%d]", dim64, maxDim)
+	}
+	dim := int(dim64)
+	if math.IsNaN(topk) || topk < 0 || topk >= 1 {
+		return nil, fmt.Errorf("codec: topk %v out of [0,1)", topk)
+	}
+	sparse := flags&flagSparse != 0
+	if sparse != (topk > 0) {
+		return nil, fmt.Errorf("codec: sparse flag %v inconsistent with topk %v", sparse, topk)
+	}
+	k := int(k64)
+	if sparse && (k == 0 || k > dim) {
+		return nil, fmt.Errorf("codec: sparse count %d out of [1,%d]", k, dim)
+	}
+	if !sparse && k != 0 {
+		return nil, fmt.Errorf("codec: dense frame with sparse count %d", k)
+	}
+
+	n := dim // stored value count
+	if sparse {
+		n = k
+	}
+	body := data[wireHeader:]
+	need := 4 * k
+	switch kind {
+	case Raw:
+		need += 8 * n
+	case FP16:
+		need += 2 * n
+	case Int8:
+		nb := (n + Block - 1) / Block
+		need += 4 + 8*nb + n
+	}
+	if len(body) != need {
+		return nil, fmt.Errorf("codec: frame body %d bytes, want %d", len(body), need)
+	}
+
+	f := &Frame{
+		Spec: Spec{Quant: kind, TopK: topk, EF: flags&flagEF != 0},
+		Dim:  dim,
+	}
+	if err := f.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if sparse {
+		f.Idx = make([]int32, k)
+		prev := int32(-1)
+		for t := 0; t < k; t++ {
+			id64 := binary.LittleEndian.Uint32(body[4*t:])
+			if int64(id64) >= int64(dim) {
+				return nil, fmt.Errorf("codec: index %d out of range (dim %d)", id64, dim)
+			}
+			id := int32(id64)
+			if id <= prev {
+				return nil, fmt.Errorf("codec: indices not strictly ascending at %d", t)
+			}
+			f.Idx[t] = id
+			prev = id
+		}
+		body = body[4*k:]
+	}
+
+	switch kind {
+	case Raw:
+		f.Val = make([]float64, n)
+		for i := range f.Val {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("codec: non-finite value at %d", i)
+			}
+			f.Val[i] = v
+		}
+	case FP16:
+		f.Val = make([]float64, n)
+		for i := range f.Val {
+			v := f16ToF64(binary.LittleEndian.Uint16(body[2*i:]))
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("codec: non-finite fp16 value at %d", i)
+			}
+			f.Val[i] = v
+		}
+	case Int8:
+		nb := (n + Block - 1) / Block
+		if got := binary.LittleEndian.Uint32(body[:4]); int64(got) != int64(nb) {
+			return nil, fmt.Errorf("codec: scale block count %d, want %d", got, nb)
+		}
+		body = body[4:]
+		f.Scales = make([]float64, nb)
+		for b := range f.Scales {
+			s := math.Float64frombits(binary.LittleEndian.Uint64(body[8*b:]))
+			if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+				return nil, fmt.Errorf("codec: bad scale %v at block %d", s, b)
+			}
+			f.Scales[b] = s
+		}
+		body = body[8*nb:]
+		f.Q = make([]int8, n)
+		for i := range f.Q {
+			f.Q[i] = int8(body[i])
+		}
+		if sparse {
+			f.Val = make([]float64, n)
+			for i := range f.Val {
+				f.Val[i] = f.Scales[i/Block] * float64(f.Q[i])
+			}
+		}
+	}
+	return f, nil
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/codec"
 	"repro/internal/fl"
 	"repro/internal/vec"
 )
@@ -105,20 +106,39 @@ func (t TrimmedMean) Aggregate(_ []float64, updates []fl.Update) ([]float64, fl.
 	return vec.TrimmedMean(updateVectors(updates), trim), fl.Selection{}, nil
 }
 
+// roundSqDist returns the round's pairwise squared-distance geometry:
+// computed in the compressed domain when every update carries a compatible
+// codec frame (sparse·dense dots over pooled scratch, exact int8 block
+// dots — see internal/codec), from the dense weight vectors otherwise.
+// Both paths are bit-deterministic at any worker count; compressed-domain
+// distances are over deltas, which pairwise equal weight distances up to
+// FP rounding — the documented codec-on semantics.
+func roundSqDist(updates []fl.Update, vs [][]float64) [][]float64 {
+	frames := make([]*codec.Frame, len(updates))
+	for i := range updates {
+		if updates[i].Frame == nil {
+			return vec.SqDistMatrix(vs)
+		}
+		frames[i] = updates[i].Frame
+	}
+	if m := codec.SqDistMatrix(frames); m != nil {
+		return m
+	}
+	return vec.SqDistMatrix(vs)
+}
+
 // krumScores returns, for every update, the sum of squared distances to its
-// n−f−2 nearest neighbours (Blanchard et al.), together with the pairwise
-// squared-distance matrix it was derived from so callers can share the
-// geometry (Selection.Distances, forensic fingerprints). The neighbour
-// count is clamped to [1, n−1] so small rounds still produce a usable
-// score.
-func krumScores(vs [][]float64, f int) ([]float64, [][]float64) {
-	n := len(vs)
+// n−f−2 nearest neighbours (Blanchard et al.), given the round's pairwise
+// squared-distance matrix (callers share the geometry via roundSqDist —
+// Selection.Distances, forensic fingerprints). The neighbour count is
+// clamped to [1, n−1] so small rounds still produce a usable score.
+func krumScores(dist [][]float64, f int) []float64 {
+	n := len(dist)
 	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
-	dist := vec.SqDistMatrix(vs)
-	return krumScoresFrom(dist, idx, f), dist
+	return krumScoresFrom(dist, idx, f)
 }
 
 // negate returns the element-wise negation of scores: the Krum family's
@@ -202,7 +222,8 @@ func (k MultiKrum) Aggregate(_ []float64, updates []fl.Update) ([]float64, fl.Se
 		m = n
 	}
 	vs := updateVectors(updates)
-	scores, dist := krumScores(vs, k.F)
+	dist := roundSqDist(updates, vs)
+	scores := krumScores(dist, k.F)
 	order := argsort(scores)
 	selected := append([]int(nil), order[:m]...)
 	chosen := make([][]float64, m)
@@ -245,9 +266,10 @@ func (b Bulyan) Aggregate(_ []float64, updates []fl.Update) ([]float64, fl.Selec
 	vs := updateVectors(updates)
 
 	// Stage 1: iterative Krum selection of theta updates. The O(n²·d)
-	// pairwise distances are computed once; each iteration re-scores the
-	// shrinking remainder from the shared matrix.
-	dist := vec.SqDistMatrix(vs)
+	// pairwise distances are computed once (compressed-domain when the
+	// round's frames allow); each iteration re-scores the shrinking
+	// remainder from the shared matrix.
+	dist := roundSqDist(updates, vs)
 	remaining := make([]int, n)
 	for i := range remaining {
 		remaining[i] = i

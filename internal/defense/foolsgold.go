@@ -48,14 +48,20 @@ func (f *FoolsGold) Aggregate(global []float64, updates []fl.Update) ([]float64,
 		return nil, fl.Selection{}, errNoUpdates
 	}
 	// Accumulate per-client historical update directions (w_i − w(t)).
+	// Sparse codec frames scatter-add their k kept coordinates directly —
+	// O(k) instead of O(d) per client; the similarity matrix below still
+	// runs dense, because histories accumulate across rounds.
 	dirs := make([][]float64, n)
 	for i, u := range updates {
-		delta := vec.Sub(u.Weights, global)
 		hist, ok := f.history[u.ClientID]
 		if !ok {
-			hist = make([]float64, len(delta))
+			hist = make([]float64, len(global))
 		}
-		vec.Axpy(hist, 1, delta)
+		if u.Frame != nil && u.Frame.IsDelta() {
+			u.Frame.AddDelta(hist)
+		} else {
+			vec.Axpy(hist, 1, vec.Sub(u.Weights, global))
+		}
 		f.history[u.ClientID] = hist
 		dirs[i] = hist
 	}

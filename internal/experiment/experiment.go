@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"repro/internal/attack"
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/defense"
@@ -160,6 +161,40 @@ type Config struct {
 	// never serialize — an ephemeral path or socket does not identify a run.
 	AuditPath     string `json:"-"`
 	ForensicsAddr string `json:"-"`
+
+	// The compression axes below follow the same key-stability contract:
+	// defaults canonicalize to zero values and carry omitempty tags, so a
+	// legacy-shaped config still marshals — and hashes into run-store keys —
+	// exactly as before the update codec existed.
+
+	// Codec names the update-compression quantizer: "" or "none"
+	// (uncompressed — bit-identical to the pre-codec pipeline), "raw"
+	// (lossless transport reshaping, still bit-identical), "fp16" (half-
+	// precision deltas) or "int8" (block-scaled stochastic 8-bit deltas).
+	Codec string `json:",omitempty"`
+	// TopK keeps only the ⌈TopK·d⌉ largest-magnitude delta coordinates
+	// per update, in (0,1); 0 means dense. Requires Codec.
+	TopK float64 `json:",omitempty"`
+	// ErrorFeedback carries each round's quantization/sparsification
+	// residual into the client's next update. Requires a lossy Codec.
+	ErrorFeedback bool `json:",omitempty"`
+}
+
+// codecSpec maps the config's compression axes onto the codec package's
+// spec; zero-valued axes produce the disabled spec.
+func (c Config) codecSpec() codec.Spec {
+	var kind codec.Kind
+	switch c.Codec {
+	case "raw":
+		kind = codec.Raw
+	case "fp16":
+		kind = codec.FP16
+	case "int8":
+		kind = codec.Int8
+	default:
+		return codec.Spec{}
+	}
+	return codec.Spec{Quant: kind, TopK: c.TopK, EF: c.ErrorFeedback}
 }
 
 // Normalize fills defaults in place and validates the names.
@@ -314,6 +349,19 @@ func (c *Config) Normalize() error {
 	if !c.Forensics && (c.ForensicsRing != 0 || c.ForensicsReservoir != 0) {
 		return fmt.Errorf("experiment: ForensicsRing/ForensicsReservoir require Forensics")
 	}
+	switch c.Codec {
+	case "", "none":
+		c.Codec = ""
+	case "raw", "fp16", "int8":
+	default:
+		return fmt.Errorf("experiment: unknown codec %q (known: none, raw, fp16, int8)", c.Codec)
+	}
+	if c.Codec == "" && (c.TopK != 0 || c.ErrorFeedback) {
+		return fmt.Errorf("experiment: TopK/ErrorFeedback require Codec")
+	}
+	if err := c.codecSpec().Validate(); err != nil {
+		return fmt.Errorf("experiment: %w", err)
+	}
 	return nil
 }
 
@@ -347,6 +395,13 @@ func (c Config) cleanKey() string {
 	// from baselines (the paper's acc is flat no-defense FedAvg).
 	if c.Population != "" {
 		key += fmt.Sprintf("|pop=%s|shard=%d", c.Population, c.MeanShard)
+	}
+	// The codec reshapes every surviving update (lossy kinds change the
+	// clean trajectory; raw is bit-identical but keeping the keys separate
+	// is cheaper than proving it per cell), so it joins the baseline key —
+	// except for codec-off, which must keep the legacy key.
+	if c.Codec != "" {
+		key += fmt.Sprintf("|codec=%s|topk=%g|ef=%t", c.Codec, c.TopK, c.ErrorFeedback)
 	}
 	return key
 }
@@ -680,6 +735,7 @@ func Run(cfg Config) (*Outcome, error) {
 		EvalLimit:    cfg.EvalLimit,
 		Parallel:     cfg.Parallel,
 		Scenario:     BuildScenario(cfg, tk.shards),
+		Codec:        cfg.codecSpec(),
 	}
 	if col != nil {
 		flCfg.Observer = col

@@ -165,6 +165,12 @@ func TestNormalizeScenarioDefaults(t *testing.T) {
 		{Groups: -1},
 		{GroupDefense: "mkrum"},                      // requires Groups > 0
 		{Population: "virtual", Sampler: "weighted"}, // O(N) weights
+		{Codec: "zstd"},
+		{TopK: 0.1},                         // requires Codec
+		{ErrorFeedback: true},               // requires Codec
+		{Codec: "raw", ErrorFeedback: true}, // EF needs a lossy codec
+		{Codec: "int8", TopK: 1.5},          // TopK outside (0,1)
+		{Codec: "fp16", TopK: -0.1},         // TopK outside (0,1)
 	}
 	for i, b := range bad {
 		if err := b.Normalize(); err == nil {
@@ -189,6 +195,10 @@ func TestCleanKeyScenarioAxes(t *testing.T) {
 		func(c *Config) { c.Partition = "quantity" },
 		func(c *Config) { c.Population = "virtual" },
 		func(c *Config) { c.Population = "virtual"; c.MeanShard = 16 },
+		func(c *Config) { c.Codec = "fp16" },
+		func(c *Config) { c.Codec = "int8" },
+		func(c *Config) { c.Codec = "int8"; c.TopK = 0.1 },
+		func(c *Config) { c.Codec = "int8"; c.TopK = 0.1; c.ErrorFeedback = true },
 	}
 	seen := map[string]bool{base.cleanKey(): true}
 	for i, mut := range variants {
@@ -206,7 +216,7 @@ func TestCleanKeyScenarioAxes(t *testing.T) {
 	// The normalized legacy shape must not grow new key segments, so
 	// pre-engine run stores still resolve their baselines.
 	if key := base.cleanKey(); strings.Contains(key, "samp=") || strings.Contains(key, "sopt=") ||
-		strings.Contains(key, "pop=") {
+		strings.Contains(key, "pop=") || strings.Contains(key, "codec=") {
 		t.Fatalf("legacy clean key changed: %s", key)
 	}
 }
@@ -226,7 +236,8 @@ func TestRunKeyLegacyStable(t *testing.T) {
 	}
 	for _, field := range []string{"Partition", "Sampler", "SampleRate", "DropoutProb",
 		"StragglerProb", "ServerOpt", "ServerLR", "ServerMomentum", "AsyncBuffer", "AsyncMaxDelay",
-		"Population", "MeanShard", "PopCache", "Placement", "Groups", "GroupDefense"} {
+		"Population", "MeanShard", "PopCache", "Placement", "Groups", "GroupDefense",
+		"Codec", "TopK", "ErrorFeedback"} {
 		if strings.Contains(string(raw), field) {
 			t.Errorf("legacy config JSON leaks new field %s: %s", field, raw)
 		}
@@ -246,6 +257,47 @@ func TestRunKeyLegacyStable(t *testing.T) {
 	}
 	if k1 == k2 {
 		t.Fatal("scenario config must hash to a different run key")
+	}
+	comp := tinyCfg("lie", "mkrum")
+	comp.Codec = "int8"
+	comp.TopK = 0.1
+	if err := comp.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	k3, err := runKey(comp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 == k1 || k3 == k2 {
+		t.Fatal("codec config must hash to a different run key")
+	}
+}
+
+// TestCodecExperimentRun drives the full experiment path with the lossy
+// production codec point (int8 + top-k + error feedback): the run completes,
+// canonicalizes its codec axes, and reproduces bit-identically.
+func TestCodecExperimentRun(t *testing.T) {
+	cfg := tinyCfg("signflip", "mkrum")
+	cfg.Codec = "int8"
+	cfg.TopK = 0.25
+	cfg.ErrorFeedback = true
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MaxAcc < 0 || out.MaxAcc > 1 {
+		t.Fatalf("accuracy %v out of range", out.MaxAcc)
+	}
+	if out.Config.Codec != "int8" || out.Config.TopK != 0.25 || !out.Config.ErrorFeedback {
+		t.Fatalf("codec axes lost in normalization: %+v", out.Config)
+	}
+	again, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MaxAcc != again.MaxAcc || out.FinalAcc != again.FinalAcc {
+		t.Fatalf("codec run not reproducible: %v/%v vs %v/%v",
+			out.MaxAcc, out.FinalAcc, again.MaxAcc, again.FinalAcc)
 	}
 }
 
@@ -402,8 +454,8 @@ func TestRunGridPropagatesErrors(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(all))
+	if len(all) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(all))
 	}
 	ids := map[string]bool{}
 	for _, e := range all {
@@ -415,7 +467,7 @@ func TestRegistry(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"table2", "table3", "table4", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "randomweights", "samplesize", "sybil", "participation"} {
+	for _, want := range []string{"table2", "table3", "table4", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "randomweights", "samplesize", "sybil", "participation", "compression"} {
 		if _, ok := ByID(want); !ok {
 			t.Errorf("experiment %q not registered", want)
 		}

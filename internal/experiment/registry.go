@@ -41,6 +41,7 @@ func All() []Experiment {
 		{ID: "participation", Title: "Production extension: DFA-R vs mKrum under cross-device participation (sampler × churn × server optimizer × sync/async)", Run: runParticipation},
 		{ID: "productionscale", Title: "Production extension: attacker dilution at cross-device scale (100k-client lazy population, attacker fraction × topology × attack, mKrum)", Run: runProductionScale},
 		{ID: "detection", Title: "Forensics extension: detection quality (AUC, TPR@1%FPR) of every defense across attacks and attacker fractions on a 100k-client population", Run: runDetection},
+		{ID: "compression", Title: "Transport extension: update compression (fp16/int8/top-k+EF) × attack × defense — does compressed-domain robust aggregation keep its detection quality?", Run: runCompression},
 	}
 }
 
@@ -557,6 +558,63 @@ func runDetection(r *Runner, p Profile, w io.Writer) error {
 		fmt.Fprintf(tw, "%g\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d\n",
 			o.Config.AttackerFrac*100, o.Config.Defense, o.Config.Attack,
 			fmtPct(auc), fmtPct(tprAt), fmtPct(tpr), fmtPct(fpr), fmtPct(o.DPR), zeroSel)
+	}
+	return tw.Flush()
+}
+
+// compressionCodecs are the wire configurations of the compression sweep:
+// the uncompressed control, half-precision deltas, dense stochastic int8,
+// and the aggressive production point — int8 with 10% top-k sparsification
+// and error feedback.
+var compressionCodecs = []struct {
+	Name string
+	Mut  func(*Config)
+}{
+	{"off", func(*Config) {}},
+	{"fp16", func(c *Config) { c.Codec = "fp16" }},
+	{"int8", func(c *Config) { c.Codec = "int8" }},
+	{"int8-top10-ef", func(c *Config) {
+		c.Codec = "int8"
+		c.TopK = 0.1
+		c.ErrorFeedback = true
+	}},
+}
+
+// runCompression sweeps codec × attack × defense with forensics enabled:
+// the question is whether lossy update compression degrades the server's
+// ability to tell attackers from benign clients (AUC, TPR@1%FPR) or shifts
+// the endpoint metrics (ASR, DPR) — the robust rules aggregate from
+// codec reconstructions, with their pairwise geometry computed in the
+// compressed domain where the round's frames allow it.
+func runCompression(r *Runner, p Profile, w io.Writer) error {
+	attacks := []string{"dfa-r", "minmax", "labelflip"}
+	defenses := []string{"refd", "mkrum", "foolsgold"}
+	var cfgs []Config
+	for _, cdc := range compressionCodecs {
+		for _, def := range defenses {
+			for _, atk := range attacks {
+				cfg := p.Base("fashion-sim", atk, def, 0.5)
+				cfg.Forensics = true
+				cdc.Mut(&cfg)
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	outs, err := r.RunGrid(cfgs, p.Workers)
+	if err != nil {
+		return err
+	}
+	tw := newTab(w)
+	fmt.Fprintf(tw, "codec\tdefense\tattack\tAUC\tTPR@1%%FPR\tASR%%\tDPR%%\tacc_m%%\n")
+	for i, o := range outs {
+		auc, tprAt := math.NaN(), math.NaN()
+		if d := o.Detection; d != nil {
+			auc, tprAt = d.AUC, d.TPRAt1FPR
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%.2f\n",
+			compressionCodecs[i/(len(attacks)*len(defenses))].Name,
+			o.Config.Defense, o.Config.Attack,
+			fmtPct(auc), fmtPct(tprAt), fmtPct(o.ASR), fmtPct(o.DPR), o.MaxAcc*100)
 	}
 	return tw.Flush()
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/codec"
 	"repro/internal/nn"
 )
 
@@ -83,6 +84,14 @@ type Engine struct {
 	// rounds are reported with an empty updates slice so detection metrics
 	// record them instead of silently skipping.
 	Observer AggregationObserver
+
+	// Codec, when enabled, compresses every update the round produced
+	// before aggregation: each update gains a codec frame and its Weights
+	// are replaced by the frame's reconstruction, so the simulator
+	// exercises exactly the lossy view a compressed socket run gives the
+	// server. Updates that already carry a frame (decoded off the wire by
+	// the flnet transport) pass through untouched.
+	Codec codec.Spec
 
 	// Evaluate measures the global model's accuracy; nil disables
 	// evaluation (the flnet server without a test set).
@@ -171,6 +180,14 @@ func (e *Engine) Run(initial []float64) (*Result, []float64, error) {
 		}
 	}
 
+	if err := e.Codec.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("fl: codec: %w", err)
+	}
+	// NewEncoder returns nil for a disabled spec; with EF enabled it also
+	// carries per-client residuals across rounds, so it must live for the
+	// whole run.
+	enc := codec.NewEncoder(e.Codec)
+
 	res := &Result{MaxAccuracy: e.InitialMax, FinalAccuracy: math.NaN()}
 	global := initial
 	prev := append([]float64(nil), global...)
@@ -258,6 +275,21 @@ func (e *Engine) Run(initial []float64) (*Result, []float64, error) {
 					NumSamples: e.AttackSamples,
 					Malicious:  true,
 				})
+			}
+		}
+		// Compress the round's submissions: attackers ride the same wire
+		// format as everyone else, and the server's view of each update
+		// becomes the frame's reconstruction — exactly what a compressed
+		// socket run would decode. Updates that already carry a frame
+		// (flnet decoded them off the wire) pass through untouched.
+		if enc != nil {
+			for i := range updates {
+				if updates[i].Frame != nil {
+					continue
+				}
+				f := enc.Encode(updates[i].ClientID, round, global, updates[i].Weights)
+				updates[i].Frame = f
+				updates[i].Weights = f.Reconstruct(global)
 			}
 		}
 		res.MaliciousSubmitted += len(attackerIDs)

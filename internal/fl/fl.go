@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/codec"
 	"repro/internal/nn"
 )
 
@@ -25,6 +26,11 @@ type Update struct {
 	// Malicious marks updates crafted by the adversary. The server never
 	// reads this field; it exists purely for metric accounting.
 	Malicious bool
+	// Frame is the compressed form of the update when a codec is active
+	// (Weights then holds the reconstruction the server decoded from it).
+	// Codec-aware defenses read geometry from it; everything else ignores
+	// it and sees only the reconstructed Weights.
+	Frame *codec.Frame
 }
 
 // Selection is the uniform per-round decision report of an aggregation

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sync/atomic"
 
+	"repro/internal/codec"
 	"repro/internal/dataset"
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -43,6 +44,10 @@ type Config struct {
 	// Observer, when non-nil, receives every aggregation decision — the
 	// forensics audit hook. Pure observation: it never changes results.
 	Observer AggregationObserver
+	// Codec, when enabled, compresses every client update before
+	// aggregation (see Engine.Codec). The zero value reproduces the
+	// uncompressed path bit-exactly.
+	Codec codec.Spec
 }
 
 // Validate reports configuration errors.
@@ -65,6 +70,9 @@ func (c *Config) Validate() error {
 		return errors.New("fl: LR must be positive")
 	case c.EvalEvery <= 0:
 		return errors.New("fl: EvalEvery must be positive")
+	}
+	if err := c.Codec.Validate(); err != nil {
+		return err
 	}
 	return c.Scenario.Validate()
 }
@@ -197,6 +205,7 @@ func (s *Simulation) Run() (*Result, error) {
 		Malicious:    s.malicious,
 		NewModel:     s.newModel,
 		Observer:     s.cfg.Observer,
+		Codec:        s.cfg.Codec,
 		// Attackers report a plausible sample count (the mean benign shard
 		// size) so weighted aggregation cannot trivially expose them.
 		AttackSamples: s.meanShardSize(),

@@ -7,6 +7,7 @@ import (
 	"net"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/dataset"
 	"repro/internal/fl"
 	"repro/internal/nn"
@@ -84,25 +85,51 @@ func (t *AttackTrainer) Train(round int, global, prevGlobal []float64) ([]float6
 	return vecs[0], t.numSamples, nil
 }
 
+// CodecRejectedError is the typed join failure returned when the server
+// refuses the client's requested codec at the handshake, before any round
+// runs.
+type CodecRejectedError struct {
+	// Codec is the spec token the client requested.
+	Codec string
+	// Reason is the server's explanation.
+	Reason string
+}
+
+func (e *CodecRejectedError) Error() string {
+	return fmt.Sprintf("flnet: join rejected: codec %q: %s", e.Codec, e.Reason)
+}
+
 // Client is one networked federation participant.
 type Client struct {
 	conn    *Conn
 	trainer Trainer
+	enc     *codec.Encoder
 	// ID is the server-assigned identity, valid after Join.
 	ID int
 }
 
-// Dial connects to the server and performs the join handshake.
+// Dial connects to the server and performs the join handshake with no
+// codec (legacy dense updates).
 func Dial(addr string, trainer Trainer, timeout time.Duration) (*Client, error) {
+	return DialCodec(addr, trainer, timeout, codec.Spec{})
+}
+
+// DialCodec connects to the server and negotiates the given update codec at
+// the join handshake. A server that does not serve the codec replies with a
+// rejection before round start, surfaced as *CodecRejectedError.
+func DialCodec(addr string, trainer Trainer, timeout time.Duration, spec codec.Spec) (*Client, error) {
 	if trainer == nil {
 		return nil, errors.New("flnet: trainer must not be nil")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
 	}
 	raw, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("flnet: dial %s: %w", addr, err)
 	}
 	conn := NewConn(raw, timeout)
-	if err := conn.Send(&Envelope{Type: MsgJoin}); err != nil {
+	if err := conn.Send(&Envelope{Type: MsgJoin, Codec: spec.String()}); err != nil {
 		_ = conn.Close()
 		return nil, err
 	}
@@ -111,11 +138,15 @@ func Dial(addr string, trainer Trainer, timeout time.Duration) (*Client, error) 
 		_ = conn.Close()
 		return nil, fmt.Errorf("flnet: join ack: %w", err)
 	}
+	if ack.Type == MsgJoinReject {
+		_ = conn.Close()
+		return nil, &CodecRejectedError{Codec: spec.String(), Reason: ack.Err}
+	}
 	if ack.Type != MsgJoinAck {
 		_ = conn.Close()
 		return nil, errProtocol(MsgJoinAck, ack)
 	}
-	return &Client{conn: conn, trainer: trainer, ID: ack.ClientID}, nil
+	return &Client{conn: conn, trainer: trainer, enc: codec.NewEncoder(spec), ID: ack.ClientID}, nil
 }
 
 // Run serves training requests until the server sends Done (returning the
@@ -139,8 +170,17 @@ func (c *Client) Run() ([]float64, error) {
 				Type:       MsgUpdate,
 				Round:      msg.Round,
 				ClientID:   c.ID,
-				Weights:    weights,
 				NumSamples: n,
+			}
+			if c.enc != nil {
+				// Compressed session: ship the codec frame instead of the
+				// dense vector. The rounding stream is keyed by the
+				// server-assigned ID and the round, so a re-run of the
+				// same federation encodes identically.
+				frame := c.enc.Encode(c.ID, msg.Round, msg.Weights, weights)
+				resp.Frame = codec.EncodeWire(frame)
+			} else {
+				resp.Weights = weights
 			}
 			if err := c.conn.Send(resp); err != nil {
 				return nil, fmt.Errorf("flnet: client %d reply: %w", c.ID, err)

@@ -1,0 +1,233 @@
+package flnet
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/dataset"
+	"repro/internal/defense"
+	"repro/internal/nn"
+)
+
+// runCodecFederation runs a small benign federation over loopback TCP with
+// the given server codec token and one client per spec. Clients join
+// sequentially so server-assigned IDs (and therefore shards and rounding
+// streams) are deterministic across runs — the raw-vs-legacy bit-identity
+// test below depends on it.
+func runCodecFederation(t *testing.T, serverCodec string, clientSpecs []codec.Spec, rounds int) *ServerResult {
+	t.Helper()
+	spec := dataset.TinySpec()
+	train, test := dataset.Generate(spec, 11)
+	newModel := func(rng *rand.Rand) *nn.Network {
+		return nn.NewFashionCNN(rng, spec.Channels, spec.Size, spec.Classes)
+	}
+	n := len(clientSpecs)
+	shards := dataset.PartitionIID(rand.New(rand.NewSource(1)), train.Len(), n)
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	srv, err := NewServer(ServerConfig{
+		MinClients:   n,
+		PerRound:     n,
+		Rounds:       rounds,
+		RoundTimeout: 10 * time.Second,
+		Seed:         7,
+		Codec:        serverCodec,
+	}, defense.MultiKrum{F: 1}, newModel, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type serveOut struct {
+		res *ServerResult
+		err error
+	}
+	serverDone := make(chan serveOut, 1)
+	go func() {
+		res, err := srv.Serve(lis)
+		serverDone <- serveOut{res, err}
+	}()
+
+	addr := lis.Addr().String()
+	clients := make([]*Client, n)
+	for i, cs := range clientSpecs {
+		rng := rand.New(rand.NewSource(int64(100 + i)))
+		trainer := NewBenignTrainer(train, shards[i], newModel, 0.05, 1, 8, rng)
+		client, err := DialCodec(addr, trainer, 10*time.Second, cs)
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		if client.ID != i {
+			t.Fatalf("client %d assigned ID %d; sequential joins must get sequential IDs", i, client.ID)
+		}
+		clients[i] = client
+	}
+
+	finals := make([][]float64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, client := range clients {
+		wg.Add(1)
+		go func(i int, client *Client) {
+			defer wg.Done()
+			finals[i], errs[i] = client.Run()
+		}(i, client)
+	}
+	wg.Wait()
+	out := <-serverDone
+	if out.err != nil {
+		t.Fatalf("server: %v", out.err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	if len(out.res.Rounds) != rounds {
+		t.Fatalf("server ran %d rounds, want %d", len(out.res.Rounds), rounds)
+	}
+	for _, rr := range out.res.Rounds {
+		if rr.Responded != rr.Selected {
+			t.Fatalf("round %d: %d/%d responded — codec session dropped updates", rr.Round, rr.Responded, rr.Selected)
+		}
+	}
+	for i, fw := range finals {
+		if len(fw) != len(out.res.FinalWeights) {
+			t.Fatalf("client %d final weights length %d", i, len(fw))
+		}
+		for j := range fw {
+			if fw[j] != out.res.FinalWeights[j] {
+				t.Fatalf("client %d final weights diverge at %d", i, j)
+			}
+		}
+	}
+	return out.res
+}
+
+// TestCodecSessionEndToEnd runs a lossy int8+top-k+EF federation over real
+// sockets: every update travels as a codec frame, the mKrum server
+// aggregates from reconstructions, and no round drops a client.
+func TestCodecSessionEndToEnd(t *testing.T) {
+	cs := codec.Spec{Quant: codec.Int8, TopK: 0.25, EF: true}
+	specs := []codec.Spec{cs, cs, cs, cs}
+	runCodecFederation(t, cs.String(), specs, 3)
+}
+
+// TestCodecRawMatchesLegacyBitExact: the raw codec is the lossless control —
+// a federation that ships raw frames must finish with weights bit-identical
+// to the same federation shipping legacy dense envelopes.
+func TestCodecRawMatchesLegacyBitExact(t *testing.T) {
+	legacy := runCodecFederation(t, "", make([]codec.Spec, 3), 2)
+	raw := runCodecFederation(t, "raw",
+		[]codec.Spec{{Quant: codec.Raw}, {Quant: codec.Raw}, {Quant: codec.Raw}}, 2)
+	if len(legacy.FinalWeights) != len(raw.FinalWeights) {
+		t.Fatalf("weight length mismatch: %d vs %d", len(legacy.FinalWeights), len(raw.FinalWeights))
+	}
+	for i := range legacy.FinalWeights {
+		if legacy.FinalWeights[i] != raw.FinalWeights[i] {
+			t.Fatalf("raw codec diverged from legacy at weight %d: %g vs %g",
+				i, raw.FinalWeights[i], legacy.FinalWeights[i])
+		}
+	}
+}
+
+// TestCodecMixedLegacyAndCompressed: a legacy client ("" negotiation) is
+// always served, even by a codec-enabled server; the round then mixes dense
+// and frame-carrying updates and the defense falls back to dense geometry.
+func TestCodecMixedLegacyAndCompressed(t *testing.T) {
+	cs := codec.Spec{Quant: codec.FP16}
+	runCodecFederation(t, cs.String(), []codec.Spec{{}, cs, cs}, 2)
+}
+
+// TestCodecNegotiationReject is the handshake satellite: a client whose
+// codec the server does not serve is rejected with a typed error before any
+// round starts, the rejected connection does not consume a MinClients slot,
+// and compatible clients that follow complete the session normally.
+func TestCodecNegotiationReject(t *testing.T) {
+	spec := dataset.TinySpec()
+	train, test := dataset.Generate(spec, 13)
+	newModel := func(rng *rand.Rand) *nn.Network {
+		return nn.NewFashionCNN(rng, spec.Channels, spec.Size, spec.Classes)
+	}
+	shards := dataset.PartitionIID(rand.New(rand.NewSource(2)), train.Len(), 2)
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	srv, err := NewServer(ServerConfig{
+		MinClients:   2,
+		PerRound:     2,
+		Rounds:       1,
+		RoundTimeout: 10 * time.Second,
+		Seed:         9,
+		Codec:        "int8",
+	}, defense.FedAvg{}, newModel, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverDone := make(chan error, 1)
+	go func() {
+		_, err := srv.Serve(lis)
+		serverDone <- err
+	}()
+
+	addr := lis.Addr().String()
+	mk := func(i int) Trainer {
+		rng := rand.New(rand.NewSource(int64(40 + i)))
+		return NewBenignTrainer(train, shards[i], newModel, 0.05, 1, 8, rng)
+	}
+
+	// A client requesting a codec the server does not serve must get the
+	// typed rejection, not a hang or a generic protocol error.
+	_, err = DialCodec(addr, mk(0), 5*time.Second, codec.Spec{Quant: codec.FP16})
+	var rej *CodecRejectedError
+	if !errors.As(err, &rej) {
+		t.Fatalf("mismatched codec: got %v, want *CodecRejectedError", err)
+	}
+	if rej.Codec != "fp16" || rej.Reason == "" {
+		t.Fatalf("rejection lacks context: %+v", rej)
+	}
+
+	// The rejection must not have consumed a join slot: a legacy client and
+	// a matching-codec client now fill MinClients and the session completes.
+	var wg sync.WaitGroup
+	var runErrs [2]error
+	for i, cs := range []codec.Spec{{}, {Quant: codec.Int8}} {
+		client, err := DialCodec(addr, mk(i), 10*time.Second, cs)
+		if err != nil {
+			t.Fatalf("compatible client %d: %v", i, err)
+		}
+		wg.Add(1)
+		go func(i int, client *Client) {
+			defer wg.Done()
+			_, runErrs[i] = client.Run()
+		}(i, client)
+	}
+	wg.Wait()
+	if err := <-serverDone; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	for i, err := range runErrs {
+		if err != nil {
+			t.Fatalf("client %d run: %v", i, err)
+		}
+	}
+}
+
+// TestDialCodecValidatesSpec: an invalid spec fails client-side, before any
+// connection is attempted.
+func TestDialCodecValidatesSpec(t *testing.T) {
+	_, err := DialCodec("127.0.0.1:1", &BenignTrainer{}, time.Second, codec.Spec{Quant: codec.Raw, EF: true})
+	if err == nil {
+		t.Fatal("expected validation error for EF on a lossless codec")
+	}
+}

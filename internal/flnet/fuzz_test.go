@@ -7,6 +7,8 @@ import (
 	"net"
 	"testing"
 	"time"
+
+	"repro/internal/codec"
 )
 
 // byteConn adapts a byte buffer to net.Conn so the framing/decoding path
@@ -39,11 +41,27 @@ func encodeEnvelopes(tb testing.TB, envs ...*Envelope) []byte {
 	return buf.Bytes()
 }
 
+// codecFrameSeed builds the wire bytes of one real compressed update for
+// the corpus: an int8 top-k frame over a small synthetic delta.
+func codecFrameSeed(tb testing.TB) []byte {
+	tb.Helper()
+	enc := codec.NewEncoder(codec.Spec{Quant: codec.Int8, TopK: 0.5})
+	global := make([]float64, 70)
+	weights := make([]float64, 70)
+	for i := range weights {
+		weights[i] = float64(i%13) - 6
+	}
+	return codec.EncodeWire(enc.Encode(1, 0, global, weights))
+}
+
 // FuzzProtocolDecode feeds arbitrary bytes to the server-facing decode
 // path (length-prefix reassembly + gob) and checks it fails closed: Recv
 // never panics and never spins — every call either yields an envelope or
 // a terminal error, and corrupted length prefixes are rejected before
-// allocation, not trusted.
+// allocation, not trusted. Envelopes that carry a codec Frame are pushed
+// through the second decode stage the server runs (codec.DecodeWire),
+// which must equally fail closed: no panic, allocations bounded by the
+// frame size, and any accepted frame re-encodes to valid bytes.
 func FuzzProtocolDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0})             // zero-length frame: invalid
@@ -61,6 +79,33 @@ func FuzzProtocolDecode(f *testing.F) {
 	binary.BigEndian.PutUint32(tail[len(tail)-4:], maxFrameSize+1)
 	f.Add(tail)
 
+	// Codec sessions: Update envelopes whose Frame field carries the
+	// compressed payload the server hands to codec.DecodeWire. Seed an
+	// intact frame plus the hostile shapes the decoder must reject.
+	frame := codecFrameSeed(f)
+	f.Add(encodeEnvelopes(f,
+		&Envelope{Type: MsgJoin, Codec: "int8,topk=0.5"},
+		&Envelope{Type: MsgUpdate, Round: 0, ClientID: 1, Frame: frame, NumSamples: 9},
+	))
+	// Truncated scale section: drop bytes from the tail, which for a
+	// sparse int8 frame cuts into scales/quantized values.
+	f.Add(encodeEnvelopes(f, &Envelope{Type: MsgUpdate, Frame: frame[:len(frame)-10]}))
+	// Out-of-range top-k index: the first stored index (right after the
+	// 20-byte header) patched far beyond dim.
+	oob := bytes.Clone(frame)
+	binary.LittleEndian.PutUint32(oob[20:], 1<<30)
+	f.Add(encodeEnvelopes(f, &Envelope{Type: MsgUpdate, Frame: oob}))
+	// Zero-length block section: a dense int8 frame with a correctly sized
+	// body that declares zero scale blocks for its 256 coordinates.
+	zb := make([]byte, 0, 20+4+8+256)
+	zb = append(zb, 0xC6, 0x01, byte(codec.Int8), 0)
+	zb = binary.LittleEndian.AppendUint32(zb, 256) // dim
+	zb = binary.LittleEndian.AppendUint64(zb, 0)   // topk
+	zb = binary.LittleEndian.AppendUint32(zb, 0)   // k
+	zb = binary.LittleEndian.AppendUint32(zb, 0)   // nblocks: liar, 1 block stored
+	zb = append(zb, make([]byte, 8+256)...)
+	f.Add(encodeEnvelopes(f, &Envelope{Type: MsgUpdate, Frame: zb}))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		conn := NewConn(&byteConn{r: bytes.NewReader(bytes.Clone(data))}, 0)
 		defer conn.Close()
@@ -73,6 +118,18 @@ func FuzzProtocolDecode(f *testing.F) {
 			}
 			if e == nil {
 				t.Fatal("Recv returned nil envelope with nil error")
+			}
+			if len(e.Frame) > 0 {
+				// Second decode stage: the server feeds Update frames to the
+				// codec decoder with the model dimension as the bound. It
+				// must fail closed — reject or yield a frame that survives a
+				// canonical re-encode — never panic or over-allocate.
+				fr, err := codec.DecodeWire(e.Frame, 1<<20)
+				if err == nil {
+					if _, err := codec.DecodeWire(codec.EncodeWire(fr), 1<<20); err != nil {
+						t.Fatalf("accepted frame fails canonical re-encode: %v", err)
+					}
+				}
 			}
 		}
 		t.Fatalf("Recv yielded more envelopes than input frames (%d bytes)", len(data))

@@ -30,6 +30,10 @@ const (
 	MsgTrainRequest
 	MsgUpdate
 	MsgDone
+	// MsgJoinReject closes the handshake before round start when the
+	// server cannot serve the client's requested codec; Err carries the
+	// reason.
+	MsgJoinReject
 )
 
 // String returns the message-type name.
@@ -45,6 +49,8 @@ func (t MsgType) String() string {
 		return "update"
 	case MsgDone:
 		return "done"
+	case MsgJoinReject:
+		return "joinreject"
 	default:
 		return fmt.Sprintf("msgtype(%d)", int(t))
 	}
@@ -68,6 +74,15 @@ type Envelope struct {
 	PrevWeights []float64
 	// NumSamples is the client's reported n_i in Update messages.
 	NumSamples int
+	// Codec is the canonical codec spec token (codec.Spec.String) the
+	// client requests in Join and the server confirms in JoinAck. Empty
+	// means uncompressed — every legacy client is a valid "" negotiation.
+	Codec string
+	// Frame carries the compressed update (codec wire format) in Update
+	// messages when a codec was negotiated; Weights is then left empty.
+	Frame []byte
+	// Err carries the rejection reason in JoinReject.
+	Err string
 }
 
 // maxFrameSize bounds a frame to guard against corrupted length prefixes.

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/dataset"
 	"repro/internal/fl"
 	"repro/internal/nn"
@@ -62,6 +63,13 @@ type ServerConfig struct {
 	// Malicious flags, so detection metrics reduce to decision auditing
 	// unless the caller knows the deployment's adversaries.
 	Observer fl.AggregationObserver
+	// Codec is the canonical codec spec token (codec.Spec.String) the
+	// server supports. A joining client must request either "" (legacy
+	// uncompressed updates, always accepted) or exactly this token; any
+	// other request is rejected at the handshake with MsgJoinReject,
+	// before round start. Compression is client-side: the server decodes
+	// frames, it never fabricates them.
+	Codec string
 }
 
 // Validate reports configuration errors.
@@ -79,6 +87,11 @@ func (c *ServerConfig) Validate() error {
 	}
 	if c.HandshakeTimeout <= 0 {
 		c.HandshakeTimeout = 5 * time.Second
+	}
+	if spec, err := codec.ParseSpec(c.Codec); err != nil {
+		return fmt.Errorf("flnet: codec: %w", err)
+	} else if c.Codec != "" && c.Codec != spec.String() {
+		return fmt.Errorf("flnet: codec %q is not canonical (want %q)", c.Codec, spec.String())
 	}
 	return c.Scenario.Validate()
 }
@@ -117,6 +130,10 @@ type ServerResult struct {
 type session struct {
 	id   int
 	conn *Conn
+	// spec is the codec the client negotiated at join ("" = legacy dense
+	// updates). The server enforces it per update: a compressed session
+	// must send frames of exactly this spec, a legacy one plain weights.
+	spec codec.Spec
 }
 
 // Server drives federated training over real connections.
@@ -372,14 +389,33 @@ func (s *Server) acceptClients(lis net.Listener) ([]*session, error) {
 			_ = conn.Close()
 			continue
 		}
+		// Codec negotiation: a client is served iff it requests no codec
+		// (legacy dense updates) or exactly the server's codec. Anything
+		// else is rejected here, with a typed reason, before round start —
+		// a mismatched client must never burn rounds as a permanent
+		// straggler. Rejected connections do not count toward MinClients.
+		if hello.Codec != "" && hello.Codec != s.cfg.Codec {
+			_ = conn.Send(&Envelope{
+				Type: MsgJoinReject,
+				Err:  fmt.Sprintf("codec %q not supported (server: %q)", hello.Codec, s.cfg.Codec),
+			})
+			_ = conn.Close()
+			continue
+		}
+		spec, err := codec.ParseSpec(hello.Codec)
+		if err != nil {
+			_ = conn.Send(&Envelope{Type: MsgJoinReject, Err: err.Error()})
+			_ = conn.Close()
+			continue
+		}
 		id := len(sessions)
-		if err := conn.Send(&Envelope{Type: MsgJoinAck, ClientID: id}); err != nil {
+		if err := conn.Send(&Envelope{Type: MsgJoinAck, ClientID: id, Codec: hello.Codec}); err != nil {
 			_ = conn.Close()
 			continue
 		}
 		// The session survives the handshake: switch to the round deadline.
 		conn.Timeout = s.cfg.RoundTimeout
-		sessions = append(sessions, &session{id: id, conn: conn})
+		sessions = append(sessions, &session{id: id, conn: conn, spec: spec})
 	}
 	return sessions, nil
 }
@@ -410,18 +446,30 @@ func (s *Server) collectRound(sessions []*session, selected []int, round int, we
 				return
 			}
 			resp, err := cl.conn.Recv()
-			if err != nil || resp.Type != MsgUpdate || resp.Round != round || len(resp.Weights) != len(weights) {
+			if err != nil || resp.Type != MsgUpdate || resp.Round != round {
 				replies <- reply{}
 				return
 			}
-			replies <- reply{
-				update: fl.Update{
-					ClientID:   cl.id,
-					Weights:    resp.Weights,
-					NumSamples: resp.NumSamples,
-				},
-				ok: true,
+			u := fl.Update{ClientID: cl.id, NumSamples: resp.NumSamples}
+			if cl.spec.Enabled() {
+				// A compressed session must deliver a frame of exactly the
+				// negotiated spec; anything else fails closed and the
+				// client is treated as a straggler for the round.
+				frame, err := codec.DecodeWire(resp.Frame, len(weights))
+				if err != nil || frame.Dim != len(weights) || frame.Spec != cl.spec {
+					replies <- reply{}
+					return
+				}
+				u.Frame = frame
+				u.Weights = frame.Reconstruct(weights)
+			} else {
+				if len(resp.Weights) != len(weights) {
+					replies <- reply{}
+					return
+				}
+				u.Weights = resp.Weights
 			}
+			replies <- reply{update: u, ok: true}
 		}()
 	}
 	wg.Wait()

@@ -217,6 +217,7 @@ func (s *Simulation) Run() (*fl.Result, error) {
 		Attack:       s.attack,
 		NewModel:     s.newModel,
 		Observer:     s.cfg.Observer,
+		Codec:        s.cfg.Codec,
 		// Attackers report the population's mean shard size so weighted
 		// aggregation cannot trivially expose them.
 		AttackSamples: s.pop.MeanShardSize(),

@@ -1,0 +1,61 @@
+package tensor
+
+import "fmt"
+
+// Int8Block is the fixed block length of the int8 kernel family. The update
+// codec quantizes float64 deltas to int8 with one scale factor per
+// Int8Block-element block; the geometry kernels below produce the exact
+// per-block integer dot products that, combined with those scales, yield
+// quantized-domain distances. 256 elements keep the AVX2 int32 accumulator
+// far from overflow (|a·b| ≤ 127²·256 < 2^23 per lane) while amortizing the
+// horizontal reduction.
+const Int8Block = 256
+
+// Int8BlockDots writes, for each full Int8Block-long block of a and b, the
+// exact integer dot product of that block into out: out[k] = Σ a[i]*b[i]
+// over i in [k*Int8Block, (k+1)*Int8Block). Exactly len(out) blocks are
+// processed; a and b must cover them. Any tail beyond the last full block is
+// the caller's to handle (see Int8Dot). Integer sums are exact, so the SIMD
+// and scalar paths are bit-identical by construction.
+func Int8BlockDots(a, b []int8, out []int64) {
+	need := len(out) * Int8Block
+	if len(a) < need || len(b) < need {
+		panic(fmt.Sprintf("tensor: Int8BlockDots needs %d elements, have %d/%d", need, len(a), len(b)))
+	}
+	if len(out) == 0 {
+		return
+	}
+	if simdOn {
+		avxInt8BlockDots(&a[0], &b[0], len(out), &out[0])
+		return
+	}
+	int8BlockDotsScalar(a, b, out)
+}
+
+// int8BlockDotsScalar is the portable block-dot kernel. Integer addition is
+// associative, so any summation order gives the same result as the SIMD
+// path.
+func int8BlockDotsScalar(a, b []int8, out []int64) {
+	for k := range out {
+		lo := k * Int8Block
+		var s int64
+		for i := lo; i < lo+Int8Block; i++ {
+			s += int64(a[i]) * int64(b[i])
+		}
+		out[k] = s
+	}
+}
+
+// Int8Dot returns the exact integer dot product of a tail segment (or any
+// short run) of two int8 vectors. The codec uses it for the final partial
+// block when the dimension is not a multiple of Int8Block.
+func Int8Dot(a, b []int8) int64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Int8Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s int64
+	for i := range a {
+		s += int64(a[i]) * int64(b[i])
+	}
+	return s
+}

@@ -1,0 +1,53 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func avxInt8BlockDots(a, b *int8, blocks int, out *int64)
+//
+// One 256-element block per outer iteration: 16 inner steps each load 16
+// int8 lanes from a and b, sign-extend to int16 (VPMOVSXBW), multiply and
+// pair-sum into 8 int32 lanes (VPMADDWD), and accumulate (VPADDD). Lane
+// magnitude is bounded by 16 pair-sums of 2*127^2 < 2^19, so the int32
+// accumulator cannot overflow. The block reduction widens the 8 int32 lanes
+// to int64 before the final adds, keeping the sum exact.
+TEXT ·avxInt8BlockDots(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ blocks+16(FP), CX
+	MOVQ out+24(FP), DX
+
+	TESTQ CX, CX
+	JZ    i8done
+
+i8block:
+	VPXOR Y0, Y0, Y0
+	MOVQ  $16, AX
+
+i8inner:
+	VPMOVSXBW (SI), Y1
+	VPMOVSXBW (DI), Y2
+	VPMADDWD  Y2, Y1, Y3
+	VPADDD    Y3, Y0, Y0
+	ADDQ      $16, SI
+	ADDQ      $16, DI
+	DECQ      AX
+	JNZ       i8inner
+
+	// Reduce 8 int32 lanes to one exact int64.
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD       X1, X0, X0   // 4 int32 partials
+	VPMOVSXDQ    X0, Y2       // widen to 4 int64
+	VEXTRACTI128 $1, Y2, X3
+	VPADDQ       X3, X2, X2   // 2 int64 partials
+	VPSHUFD      $0xEE, X2, X4
+	VPADDQ       X4, X2, X2
+	MOVQ         X2, BX
+	MOVQ         BX, (DX)
+	ADDQ         $8, DX
+
+	DECQ CX
+	JNZ  i8block
+
+i8done:
+	VZEROUPPER
+	RET

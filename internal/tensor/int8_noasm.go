@@ -1,0 +1,9 @@
+//go:build !amd64 || purego
+
+package tensor
+
+// avxInt8BlockDots is unreachable on this build: simdOn is constant false,
+// so Int8BlockDots always takes the scalar path.
+func avxInt8BlockDots(a, b *int8, blocks int, out *int64) {
+	panic("tensor: avxInt8BlockDots unavailable without AVX2")
+}

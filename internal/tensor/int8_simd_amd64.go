@@ -1,0 +1,12 @@
+//go:build amd64 && !purego
+
+package tensor
+
+// avxInt8BlockDots computes `blocks` exact 256-element int8 block dot
+// products: out[k] = Σ a[k*256+i]*b[k*256+i]. Products are widened to int16
+// lanes (VPMOVSXBW), pair-summed into int32 (VPMADDWD) — bounded by
+// 2·127²·8 per lane pair, far below overflow — and reduced to one int64 per
+// block, so the result is the exact integer sum.
+//
+//go:noescape
+func avxInt8BlockDots(a, b *int8, blocks int, out *int64)

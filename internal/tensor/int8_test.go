@@ -1,0 +1,84 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestInt8BlockDotsScalarSIMD checks the dispatched kernel against the
+// scalar reference bit-for-bit across block counts and adversarial values
+// (including the extremes ±127, where VPMADDWD pair sums peak).
+func TestInt8BlockDotsScalarSIMD(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, blocks := range []int{1, 2, 3, 7, 16} {
+		n := blocks * Int8Block
+		a := make([]int8, n)
+		b := make([]int8, n)
+		for i := range a {
+			a[i] = int8(rng.Intn(255) - 127)
+			b[i] = int8(rng.Intn(255) - 127)
+		}
+		// Saturate one block with the extreme magnitude product.
+		for i := 0; i < Int8Block && i < n; i++ {
+			a[i], b[i] = -127, -127
+		}
+		got := make([]int64, blocks)
+		want := make([]int64, blocks)
+		Int8BlockDots(a, b, got)
+		int8BlockDotsScalar(a, b, want)
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("blocks=%d: block %d: dispatched %d, scalar %d", blocks, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// TestInt8BlockDotsKnown pins a hand-computable case.
+func TestInt8BlockDotsKnown(t *testing.T) {
+	a := make([]int8, Int8Block)
+	b := make([]int8, Int8Block)
+	for i := range a {
+		a[i] = 2
+		b[i] = 3
+	}
+	out := make([]int64, 1)
+	Int8BlockDots(a, b, out)
+	if want := int64(6 * Int8Block); out[0] != want {
+		t.Fatalf("Int8BlockDots = %d, want %d", out[0], want)
+	}
+}
+
+// TestInt8Dot covers the tail helper against a direct sum.
+func TestInt8Dot(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 5, 255, 300} {
+		a := make([]int8, n)
+		b := make([]int8, n)
+		var want int64
+		for i := range a {
+			a[i] = int8(rng.Intn(255) - 127)
+			b[i] = int8(rng.Intn(255) - 127)
+			want += int64(a[i]) * int64(b[i])
+		}
+		if got := Int8Dot(a, b); got != want {
+			t.Fatalf("n=%d: Int8Dot = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func BenchmarkInt8BlockDots(b *testing.B) {
+	const blocks = 64 // 16k elements
+	x := make([]int8, blocks*Int8Block)
+	y := make([]int8, blocks*Int8Block)
+	for i := range x {
+		x[i] = int8(i%255 - 127)
+		y[i] = int8((i*7)%255 - 127)
+	}
+	out := make([]int64, blocks)
+	b.SetBytes(int64(2 * len(x)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Int8BlockDots(x, y, out)
+	}
+}

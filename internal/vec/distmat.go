@@ -11,10 +11,11 @@ import (
 	"repro/internal/tensor"
 )
 
-// pairRange visits the strict upper triangle of an n×n matrix in parallel:
+// PairRange visits the strict upper triangle of an n×n matrix in parallel:
 // fn(i, j) is called exactly once per pair i < j. Pairs are flattened so
-// the fan-out is balanced even though early rows hold more pairs.
-func pairRange(n int, fn func(i, j int)) {
+// the fan-out is balanced even though early rows hold more pairs. The codec
+// geometry kernels share this fan-out with the dense distance matrices.
+func PairRange(n int, fn func(i, j int)) {
 	pairs := n * (n - 1) / 2
 	if pairs <= 0 {
 		return
@@ -58,7 +59,7 @@ func SqDistMatrix(vs [][]float64) [][]float64 {
 	const dBlock = 4096
 	dim := len(vs[0])
 	if dim <= 2*dBlock {
-		pairRange(n, func(i, j int) {
+		PairRange(n, func(i, j int) {
 			d := tensor.SqDistSlice(vs[i], vs[j])
 			m[i][j] = d
 			m[j][i] = d
@@ -70,7 +71,7 @@ func SqDistMatrix(vs [][]float64) [][]float64 {
 		if d1 > dim {
 			d1 = dim
 		}
-		pairRange(n, func(i, j int) {
+		PairRange(n, func(i, j int) {
 			m[i][j] += tensor.SqDistSlice(vs[i][d0:d1], vs[j][d0:d1])
 		})
 	}
@@ -97,7 +98,7 @@ func CosineMatrix(vs [][]float64) [][]float64 {
 	for i := range m {
 		m[i][i] = 1
 	}
-	pairRange(n, func(i, j int) {
+	PairRange(n, func(i, j int) {
 		var s float64
 		if norms[i] != 0 && norms[j] != 0 {
 			s = tensor.DotSlice(vs[i], vs[j]) / (norms[i] * norms[j])

@@ -18,7 +18,7 @@ trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -bench . -benchtime "$benchtime" \
 	./internal/tensor ./internal/nn ./internal/defense ./internal/fl \
-	./internal/forensics \
+	./internal/forensics ./internal/codec \
 	| tee "$tmp" >&2
 
 {
