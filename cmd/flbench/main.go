@@ -6,11 +6,18 @@
 //	flbench -exp all -profile full # the whole evaluation, paper settings
 //	flbench -exp all -store run.jsonl          # journal cells as they finish
 //	flbench -exp all -store run.jsonl -resume  # skip cells a killed run completed
+//	flbench -exp all -store shared.jsonl -worker  # drain the grid cooperatively
 //	flbench -list                  # enumerate artifacts
 //
 // With -store, every completed grid cell is appended to a durable JSONL
 // run store; re-running with -resume replays those cells instead of
 // recomputing them, so an interrupted sweep finishes only its missing work.
+//
+// With -worker, the store becomes a shared work-claiming substrate: start
+// the same command N times (any mix of machines sharing the filesystem)
+// and the processes split the grid between them, each claiming cells under
+// crash-tolerant leases, adopting cells other workers finished, and
+// reclaiming the leases of workers that died mid-cell.
 package main
 
 import (
@@ -35,6 +42,8 @@ func run(args []string) error {
 	profile := fs.String("profile", "quick", "scaling profile: quick or full")
 	storePath := fs.String("store", "", "JSONL run-store path; completed cells are journaled for resume (empty = off)")
 	resume := fs.Bool("resume", false, "replay cells already present in -store instead of recomputing them")
+	worker := fs.Bool("worker", false, "drain the grid cooperatively with other -worker processes sharing -store, claiming cells under crash-tolerant leases (implies resume semantics)")
+	owner := fs.String("owner", "", "worker name recorded in lease records (diagnostics only; default hostname-pid)")
 	progress := fs.Bool("progress", false, "stream per-cell completion lines with ETA to stderr")
 	threads := fs.Int("threads", 0, "kernel worker-pool size for training/defense compute (0 = GOMAXPROCS); never changes results")
 	list := fs.Bool("list", false, "list experiment ids and exit")
@@ -50,10 +59,18 @@ func run(args []string) error {
 	if *resume && *storePath == "" {
 		return fmt.Errorf("-resume requires -store")
 	}
+	if *worker && *storePath == "" {
+		return fmt.Errorf("-worker requires -store")
+	}
+	if *owner != "" && !*worker {
+		return fmt.Errorf("-owner requires -worker")
+	}
 	opts := repro.RunOptions{
 		Profile:   *profile,
 		StorePath: *storePath,
 		Resume:    *resume,
+		Worker:    *worker,
+		Owner:     *owner,
 		Threads:   *threads,
 	}
 	if *progress {

@@ -46,6 +46,7 @@ func run(args []string) error {
 	samples := fs.Int("samples", 20, "DFA: synthetic set size |S|")
 	seed := fs.Int64("seed", 1, "random seed (benign shards must share the server's dataset seed)")
 	timeout := fs.Duration("timeout", 60*time.Second, "connection timeout")
+	federation := fs.String("federation", "", "federation ID to join on a multi-tenant host (empty = the host's sole federation, which is what a single-tenant server serves)")
 	codecToken := fs.String("codec", "", "update codec to negotiate at join, as a codec spec token: raw, fp16, int8, optionally with ,topk=<frac> and ,ef — must match the server's -codec (empty = legacy dense updates)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,11 +69,21 @@ func run(args []string) error {
 		return err
 	}
 
-	client, err := flnet.DialCodec(*addr, trainer, *timeout, codecSpec)
+	client, err := flnet.DialFederation(*addr, *federation, trainer, *timeout, codecSpec)
 	if err != nil {
 		var rej *flnet.CodecRejectedError
 		if errors.As(err, &rej) {
 			return fmt.Errorf("server refused codec %q before round start: %s (retry with a matching -codec)", rej.Codec, rej.Reason)
+		}
+		var jrej *flnet.JoinRejectedError
+		if errors.As(err, &jrej) {
+			switch jrej.Code {
+			case flnet.RejectAdmission:
+				return fmt.Errorf("host's join queue for federation %q is full: %s (retry after a backoff)", jrej.Federation, jrej.Reason)
+			case flnet.RejectUnknownFederation:
+				return fmt.Errorf("host serves no federation %q: %s (check -federation)", jrej.Federation, jrej.Reason)
+			}
+			return fmt.Errorf("join rejected (%s): %s", jrej.Code, jrej.Reason)
 		}
 		return err
 	}
@@ -80,7 +91,11 @@ func run(args []string) error {
 	if negotiated == "" {
 		negotiated = "none"
 	}
-	fmt.Printf("flclient: joined as client %d (role=%s codec=%s)\n", client.ID, *role, negotiated)
+	fedLabel := *federation
+	if fedLabel == "" {
+		fedLabel = "default"
+	}
+	fmt.Printf("flclient: joined federation %s as client %d (role=%s codec=%s)\n", fedLabel, client.ID, *role, negotiated)
 	final, err := client.Run()
 	if err != nil {
 		return err

@@ -8,15 +8,25 @@
 //	flserver -addr :7070 -clients 8 -per-round 4 -rounds 10 -defense mkrum
 //	flclient -addr localhost:7070 -role benign -shard 0 -of 6
 //	flclient -addr localhost:7070 -role dfa-r
+//
+// Multi-tenant: -federations serves several independent federations over
+// one listener, each with its own defense, round state and checkpoint.
+// Clients pick theirs with -federation:
+//
+//	flserver -addr :7070 -federations alpha=mkrum,beta=refd -clients 4
+//	flclient -addr localhost:7070 -federation alpha -role benign -shard 0 -of 4
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"net"
 	"os"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/codec"
@@ -65,8 +75,13 @@ func run(args []string) error {
 	forensicsAddr := fs.String("forensics-addr", "", "serve live defense-decision audit metrics over HTTP at this address, e.g. :8790 (empty = off)")
 	auditPath := fs.String("audit", "", "JSONL audit-journal path for per-round defense decisions and update fingerprints (empty = off)")
 	codecToken := fs.String("codec", "", "update codec served to clients, as a codec spec token: raw, fp16, int8, optionally with ,topk=<frac> and ,ef — e.g. int8,topk=0.1,ef (empty = legacy dense updates only; legacy clients are always served)")
+	federations := fs.String("federations", "", "serve several federations over one listener, as comma-separated id or id=defense entries, e.g. alpha=mkrum,beta=refd (empty = single-tenant; entries without =defense use -defense)")
+	pendingJoins := fs.Int("pending-joins", 0, "multi-tenant admission control: per-federation bound on handshakes queued for admission; joins beyond it are rejected with a typed retryable error (0 = max(clients, 16))")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *federations == "" && *pendingJoins != 0 {
+		return fmt.Errorf("-pending-joins requires -federations (the single-tenant server admits inline and never queues)")
 	}
 	codecSpec, err := codec.ParseSpec(*codecToken)
 	if err != nil {
@@ -105,27 +120,44 @@ func run(args []string) error {
 	_, test := dataset.Generate(spec, *seed)
 	newModel := modelFactory(spec)
 
-	var agg fl.Aggregator
-	if *defName == "refd" {
-		ref, err := core.BalancedReference(test, *refPerClass)
-		if err != nil {
-			return err
+	buildAgg := func(name string) (fl.Aggregator, error) {
+		if name == "refd" {
+			ref, err := core.BalancedReference(test, *refPerClass)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewREFD(ref, newModel, 1, *rejectX)
 		}
-		agg, err = core.NewREFD(ref, newModel, 1, *rejectX)
-		if err != nil {
-			return err
-		}
-	} else {
-		agg, err = defense.ByName(*defName, *fproxy)
-		if err != nil {
-			return err
-		}
+		return defense.ByName(name, *fproxy)
+	}
+	cfg := flnet.ServerConfig{
+		MinClients:       *clients,
+		PerRound:         *perRound,
+		Rounds:           *rounds,
+		RoundTimeout:     *timeout,
+		HandshakeTimeout: *handshake,
+		AcceptTimeout:    *acceptTimeout,
+		PendingJoins:     *pendingJoins,
+		Seed:             *seed,
+		CheckpointPath:   *checkpoint,
+		DatasetName:      spec.Name,
+		ModelName:        "paper-cnn",
+		Scenario:         scenario,
+		Codec:            codecSpec.String(),
+	}
+
+	if *federations != "" {
+		return runHost(*federations, cfg, buildAgg, *defName, *auditPath, *forensicsAddr, *addr, newModel, test)
+	}
+
+	agg, err := buildAgg(*defName)
+	if err != nil {
+		return err
 	}
 
 	// The networked server has no ground-truth Malicious flags, so the
 	// collector provides decision auditing (who was filtered, with what
 	// score and fingerprint) rather than TPR/FPR joins.
-	var observer fl.AggregationObserver
 	var col *forensics.Collector
 	if *forensicsAddr != "" || *auditPath != "" {
 		var err error
@@ -146,24 +178,10 @@ func run(args []string) error {
 			defer func() { _ = shutdown() }()
 			fmt.Printf("flserver: forensics metrics at http://%s/metrics\n", bound)
 		}
-		observer = col
+		cfg.Observer = col
 	}
 
-	srv, err := flnet.NewServer(flnet.ServerConfig{
-		MinClients:       *clients,
-		PerRound:         *perRound,
-		Rounds:           *rounds,
-		RoundTimeout:     *timeout,
-		HandshakeTimeout: *handshake,
-		AcceptTimeout:    *acceptTimeout,
-		Seed:             *seed,
-		CheckpointPath:   *checkpoint,
-		DatasetName:      spec.Name,
-		ModelName:        "paper-cnn",
-		Scenario:         scenario,
-		Observer:         observer,
-		Codec:            codecSpec.String(),
-	}, agg, newModel, test)
+	srv, err := flnet.NewServer(cfg, agg, newModel, test)
 	if err != nil {
 		return err
 	}
@@ -184,6 +202,130 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	printResult("", res)
+	if col != nil {
+		// A lost audit line must not pass silently: fail the process if any
+		// journal append or the final sync failed.
+		if err := col.Close(); err != nil {
+			return fmt.Errorf("forensics audit: %w", err)
+		}
+	}
+	return nil
+}
+
+// runHost serves several federations over one listener. Each entry of the
+// -federations list becomes an independent Federation: its own defense,
+// round state, checkpoint file (suffix "-<id>") and audit journal (same
+// suffix). -forensics-addr is single-tenant only: one HTTP endpoint cannot
+// represent several federations' metrics without ambiguity.
+func runHost(list string, base flnet.ServerConfig, buildAgg func(string) (fl.Aggregator, error),
+	defaultDefense, auditPath, forensicsAddr, addr string,
+	newModel func(rng *rand.Rand) *nn.Network, test *dataset.Dataset) error {
+
+	if forensicsAddr != "" {
+		return fmt.Errorf("-forensics-addr is not supported with -federations; use per-federation -audit journals")
+	}
+	type tenant struct {
+		fed *flnet.Federation
+		col *forensics.Collector
+	}
+	host := flnet.NewHost()
+	var tenants []tenant
+	ids := map[string]bool{}
+	for _, entry := range strings.Split(list, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, defName, hasDef := strings.Cut(entry, "=")
+		id = strings.TrimSpace(id)
+		if id == "" {
+			return fmt.Errorf("-federations entry %q has no federation id", entry)
+		}
+		if ids[id] {
+			return fmt.Errorf("-federations names federation %q twice", id)
+		}
+		ids[id] = true
+		if !hasDef || strings.TrimSpace(defName) == "" {
+			defName = defaultDefense
+		} else {
+			defName = strings.TrimSpace(defName)
+		}
+		agg, err := buildAgg(defName)
+		if err != nil {
+			return fmt.Errorf("federation %q: %w", id, err)
+		}
+		cfg := base
+		if cfg.CheckpointPath != "" {
+			cfg.CheckpointPath += "-" + id
+		}
+		var col *forensics.Collector
+		if auditPath != "" {
+			col, err = forensics.NewCollector(forensics.Options{
+				Defense:   agg.Name(),
+				Seed:      cfg.Seed,
+				AuditPath: auditPath + "-" + id,
+			})
+			if err != nil {
+				return fmt.Errorf("federation %q: %w", id, err)
+			}
+			defer col.Close()
+			cfg.Observer = col
+		}
+		fed, err := flnet.NewFederation(id, cfg, agg, newModel, test)
+		if err != nil {
+			return fmt.Errorf("federation %q: %w", id, err)
+		}
+		if err := host.Add(fed); err != nil {
+			return err
+		}
+		tenants = append(tenants, tenant{fed: fed, col: col})
+		fmt.Printf("flserver: federation %s (defense=%s)\n", id, defName)
+	}
+	if len(tenants) == 0 {
+		return fmt.Errorf("-federations lists no federations")
+	}
+
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer lis.Close()
+	fmt.Printf("flserver: hosting %d federations on %s, waiting for %d clients each\n",
+		len(tenants), lis.Addr(), base.MinClients)
+	go func() {
+		if err := host.Serve(lis); err != nil {
+			fmt.Fprintln(os.Stderr, "flserver: host:", err)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(tenants))
+	for i, tn := range tenants {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := tn.fed.Run()
+			if err != nil {
+				errs[i] = fmt.Errorf("federation %q: %w", tn.fed.ID(), err)
+				return
+			}
+			printResult(tn.fed.ID()+"  ", res)
+			if tn.col != nil {
+				if err := tn.col.Close(); err != nil {
+					errs[i] = fmt.Errorf("federation %q forensics audit: %w", tn.fed.ID(), err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// printResult writes the per-round reports and final metrics, each line
+// prefixed (multi-tenant runs prefix the federation ID so interleaved
+// output stays attributable).
+func printResult(prefix string, res *flnet.ServerResult) {
 	for _, rr := range res.Rounds {
 		acc := "n/a"
 		if !math.IsNaN(rr.Accuracy) {
@@ -193,18 +335,10 @@ func run(args []string) error {
 		if rr.Dropped+rr.Straggled > 0 {
 			churn = fmt.Sprintf("  dropped %d  straggled %d", rr.Dropped, rr.Straggled)
 		}
-		fmt.Printf("round %3d  selected %d  responded %d%s  accuracy %s\n",
-			rr.Round+1, rr.Selected, rr.Responded, churn, acc)
+		fmt.Printf("%sround %3d  selected %d  responded %d%s  accuracy %s\n",
+			prefix, rr.Round+1, rr.Selected, rr.Responded, churn, acc)
 	}
-	fmt.Printf("final accuracy %.4f (max %.4f)\n", res.FinalAccuracy, res.MaxAccuracy)
-	if col != nil {
-		// A lost audit line must not pass silently: fail the process if any
-		// journal append or the final sync failed.
-		if err := col.Close(); err != nil {
-			return fmt.Errorf("forensics audit: %w", err)
-		}
-	}
-	return nil
+	fmt.Printf("%sfinal accuracy %.4f (max %.4f)\n", prefix, res.FinalAccuracy, res.MaxAccuracy)
 }
 
 func modelFactory(spec dataset.Spec) func(rng *rand.Rand) *nn.Network {

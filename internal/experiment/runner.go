@@ -33,6 +33,19 @@ type Runner struct {
 	// (including cells replayed from the store). Events are delivered
 	// serially; the callback does not need its own locking.
 	Progress func(ProgressEvent)
+	// LeasePoll is how often a worker re-scans the shared store for results
+	// and claimable cells when its grid is fully leased out (LeaseStore
+	// only). Zero means 500ms.
+	LeasePoll time.Duration
+	// LeaseExpirePolls is how many consecutive polls must observe a foreign
+	// lease at an unchanged epoch before the holder is presumed dead and the
+	// lease reclaimed. Liveness is judged purely by these local observations
+	// — no wall clock ever crosses a process boundary. Zero means 5.
+	LeaseExpirePolls int
+	// LeaseRenewEvery is the heartbeat interval at which a worker bumps the
+	// epoch of leases it holds; it must be comfortably shorter than
+	// LeasePoll*LeaseExpirePolls or healthy workers get robbed. Zero means 1s.
+	LeaseRenewEvery time.Duration
 	// runFn executes a single raw configuration; tests substitute it to
 	// observe scheduling without paying for real training.
 	runFn func(Config) (*Outcome, error)
@@ -54,6 +67,10 @@ type ProgressEvent struct {
 	Config Config
 	// Skipped marks a cell replayed from the run store rather than executed.
 	Skipped bool
+	// Remote marks a cell completed by another worker process draining the
+	// same shared store while this sweep was running (Skipped is false:
+	// the cell finished during the sweep, it just wasn't ours).
+	Remote bool
 	// Outcome is the completed cell's result (nil when the cell failed).
 	Outcome *Outcome
 	// Err is the cell's failure, surfaced as it happens rather than only
@@ -62,9 +79,11 @@ type ProgressEvent struct {
 	// Elapsed is the wall-clock time since the grid started.
 	Elapsed time.Duration
 	// ETA estimates the remaining wall-clock time as remaining cells times
-	// the mean wall-clock per completed cell (which already reflects
-	// worker parallelism); zero when no cell has executed yet or the grid
-	// is done.
+	// the mean wall-clock per completed cell. Cells completed by other
+	// worker processes count toward the rate — the remaining work is drained
+	// by the whole fleet, so a single worker among N must not project N
+	// times the true finish time. Zero when no cell has completed yet or the
+	// grid is done.
 	ETA time.Duration
 }
 
@@ -134,6 +153,11 @@ func (r *Runner) computeBaseline(clean Config) (float64, error) {
 			return 0, err
 		}
 		key = k
+		if ls, ok := r.Store.(LeaseStore); ok {
+			// Multi-process sweeps singleflight the baseline fleet-wide: one
+			// worker leases and computes it, the rest await its record.
+			return r.computeBaselineLeased(ls, key, clean)
+		}
 		if r.Resume {
 			if out, ok, err := r.Store.Lookup(key); err != nil {
 				return 0, fmt.Errorf("experiment: clean baseline store: %w", err)
@@ -236,6 +260,7 @@ type progressTracker struct {
 	total    int
 	done     int
 	executed int
+	remote   int
 	start    time.Time
 }
 
@@ -246,22 +271,28 @@ func newProgressTracker(cb func(ProgressEvent), total int) *progressTracker {
 	return &progressTracker{cb: cb, total: total, start: time.Now()}
 }
 
-func (p *progressTracker) report(cfg Config, out *Outcome, err error, skipped bool) {
+func (p *progressTracker) report(cfg Config, out *Outcome, err error, skipped, remote bool) {
 	if p == nil {
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.done++
-	if !skipped {
+	switch {
+	case remote:
+		p.remote++
+	case !skipped:
 		p.executed++
 	}
 	elapsed := time.Since(p.start)
 	var eta time.Duration
-	if remaining := p.total - p.done; remaining > 0 && p.executed > 0 {
-		// elapsed/executed is wall-clock per completed cell, which already
-		// amortizes worker parallelism — no further division by workers.
-		perCell := float64(elapsed) / float64(p.executed)
+	// The rate counts cells finished during this sweep by anyone — local
+	// workers and other processes alike. elapsed/(executed+remote) is fleet
+	// wall-clock per cell, which already amortizes all parallelism; cells
+	// replayed at startup (skipped) predate the sweep and carry no rate
+	// information.
+	if remaining := p.total - p.done; remaining > 0 && p.executed+p.remote > 0 {
+		perCell := float64(elapsed) / float64(p.executed+p.remote)
 		eta = time.Duration(perCell * float64(remaining))
 	}
 	p.cb(ProgressEvent{
@@ -269,6 +300,7 @@ func (p *progressTracker) report(cfg Config, out *Outcome, err error, skipped bo
 		Total:   p.total,
 		Config:  cfg,
 		Skipped: skipped,
+		Remote:  remote,
 		Outcome: out,
 		Err:     err,
 		Elapsed: elapsed,
@@ -318,6 +350,13 @@ func (r *Runner) RunGrid(cfgs []Config, workers int) ([]*Outcome, error) {
 		}
 	}
 
+	// A lease-capable store switches the grid into multi-process draining:
+	// cells are claimed before execution, so N workers against one store
+	// cover the grid exactly once between them.
+	if ls, ok := r.Store.(LeaseStore); ok {
+		return r.runGridLeased(ls, cfgs, keys, workers)
+	}
+
 	outcomes := make([]*Outcome, len(cfgs))
 	errs := make([]error, len(cfgs))
 
@@ -343,7 +382,7 @@ func (r *Runner) RunGrid(cfgs []Config, workers int) ([]*Outcome, error) {
 	prog := newProgressTracker(r.Progress, len(cfgs))
 	for i := range cfgs {
 		if outcomes[i] != nil {
-			prog.report(outcomes[i].Config, outcomes[i], nil, true)
+			prog.report(outcomes[i].Config, outcomes[i], nil, true, false)
 		}
 	}
 
@@ -366,10 +405,10 @@ func (r *Runner) RunGrid(cfgs []Config, workers int) ([]*Outcome, error) {
 					// same whether it executed, failed, or was resumed.
 					c := cfgs[i]
 					_ = c.Normalize() // validated before scheduling
-					prog.report(c, nil, err, false)
+					prog.report(c, nil, err, false, false)
 					continue
 				}
-				prog.report(out.Config, out, nil, false)
+				prog.report(out.Config, out, nil, false, false)
 			}
 		}()
 	}

@@ -1,0 +1,315 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/persist"
+)
+
+// Multi-process grid draining. With a LeaseStore, RunGrid becomes one worker
+// of a fleet: every cell is leased before execution, results recorded by any
+// process are adopted as they appear, and leases whose epoch stalls across
+// enough local polls are reclaimed from crashed workers. The store is the
+// only coordination channel — workers never talk to each other, and no wall
+// clock crosses a process boundary.
+
+func (r *Runner) leasePoll() time.Duration {
+	if r.LeasePoll > 0 {
+		return r.LeasePoll
+	}
+	return 500 * time.Millisecond
+}
+
+func (r *Runner) leaseExpirePolls() int {
+	if r.LeaseExpirePolls > 0 {
+		return r.LeaseExpirePolls
+	}
+	return 5
+}
+
+func (r *Runner) leaseRenewEvery() time.Duration {
+	if r.LeaseRenewEvery > 0 {
+		return r.LeaseRenewEvery
+	}
+	return time.Second
+}
+
+// leaseObserver accumulates one claimer's liveness evidence about one
+// foreign lease. Polls are timed locally: an observation only counts when at
+// least minGap has passed since the previous one of the same epoch, so a
+// tight retry loop cannot fabricate staleness.
+type leaseObserver struct {
+	epoch uint64
+	seen  bool
+	polls int
+	last  time.Time
+}
+
+func (o *leaseObserver) observe(l persist.Lease, minGap time.Duration) {
+	now := time.Now()
+	if !o.seen || l.Epoch != o.epoch {
+		// Fresh epoch: the holder is alive (or new); restart the count.
+		o.epoch, o.polls, o.seen, o.last = l.Epoch, 0, true, now
+		return
+	}
+	if now.Sub(o.last) >= minGap {
+		o.polls++
+		o.last = now
+	}
+}
+
+// stealEpoch returns the epoch this observer has proven stale (safe to hand
+// to TryClaim), or 0 while the evidence is insufficient.
+func (o *leaseObserver) stealEpoch(expirePolls int) uint64 {
+	if o.seen && o.polls >= expirePolls {
+		return o.epoch
+	}
+	return 0
+}
+
+// renewLoop heartbeats a held lease until stop is called. Losing the lease
+// (another worker judged us dead) quietly ends the loop: the computation
+// continues, and the duplicate-free Record makes the double compute benign.
+func (r *Runner) renewLoop(ls LeaseStore, key string) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(r.leaseRenewEvery())
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if err := ls.Renew(key); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
+
+// computeBaselineLeased resolves a clean baseline across the fleet: exactly
+// one worker computes it while the others poll for its record — the
+// cross-process analogue of the in-process singleflight latch.
+func (r *Runner) computeBaselineLeased(ls LeaseStore, key string, clean Config) (float64, error) {
+	var obs leaseObserver
+	for {
+		if err := ls.Refresh(); err != nil {
+			return 0, fmt.Errorf("experiment: clean baseline store: %w", err)
+		}
+		if out, ok, err := ls.Lookup(key); err != nil {
+			return 0, fmt.Errorf("experiment: clean baseline store: %w", err)
+		} else if ok {
+			return out.MaxAcc, nil
+		}
+		lease, err := ls.TryClaim(key, obs.stealEpoch(r.leaseExpirePolls()))
+		if err == nil {
+			// The claim transaction replayed the journal tail, so the local
+			// view is now current: if the previous holder recorded the result
+			// and released between our lookup and our claim, adopt it instead
+			// of recomputing.
+			if out, ok, lerr := ls.Lookup(key); lerr != nil {
+				_ = ls.Release(key)
+				return 0, fmt.Errorf("experiment: clean baseline store: %w", lerr)
+			} else if ok {
+				if rerr := ls.Release(key); rerr != nil {
+					return 0, fmt.Errorf("experiment: clean baseline store: %w", rerr)
+				}
+				return out.MaxAcc, nil
+			}
+			stop := r.renewLoop(ls, key)
+			out, rerr := r.runFn(clean)
+			stop()
+			if rerr != nil {
+				_ = ls.Release(key)
+				return 0, fmt.Errorf("experiment: clean baseline: %w", rerr)
+			}
+			if werr := ls.Record(key, out); werr != nil {
+				_ = ls.Release(key)
+				return 0, fmt.Errorf("experiment: clean baseline store: %w", werr)
+			}
+			if err := ls.Release(key); err != nil {
+				return 0, fmt.Errorf("experiment: clean baseline store: %w", err)
+			}
+			return out.MaxAcc, nil
+		}
+		if !errors.Is(err, persist.ErrLeaseHeld) {
+			return 0, fmt.Errorf("experiment: clean baseline lease: %w", err)
+		}
+		obs.observe(lease, r.leasePoll())
+		time.Sleep(r.leasePoll())
+	}
+}
+
+// leaseScheduler hands grid cells to local workers: it adopts results other
+// processes record, claims free cells, and reclaims cells whose holder's
+// epoch has provably stalled.
+type leaseScheduler struct {
+	mu      sync.Mutex
+	r       *Runner
+	ls      LeaseStore
+	keys    []string
+	pending []int
+	obs     map[string]*leaseObserver
+	err     error
+}
+
+// next blocks until it can hand the caller a claimed cell index. ok=false
+// means the local grid is drained (every cell claimed locally, adopted
+// remotely, or the scheduler failed — see err).
+func (s *leaseScheduler) next(prog *progressTracker, outcomes []*Outcome) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.err != nil || len(s.pending) == 0 {
+			return 0, false
+		}
+		if err := s.ls.Refresh(); err != nil {
+			s.err = fmt.Errorf("experiment: shared store refresh: %w", err)
+			return 0, false
+		}
+		// Adopt cells other workers finished since the last scan.
+		kept := s.pending[:0]
+		for _, i := range s.pending {
+			out, ok, err := s.ls.Lookup(s.keys[i])
+			if err != nil {
+				s.err = fmt.Errorf("experiment: shared store: %w", err)
+				return 0, false
+			}
+			if ok {
+				outcomes[i] = out
+				prog.report(out.Config, out, nil, false, true)
+				continue
+			}
+			kept = append(kept, i)
+		}
+		s.pending = kept
+		// Claim the first available cell; observe the holders of the rest.
+		adopted := false
+		for n, i := range s.pending {
+			ob := s.obs[s.keys[i]]
+			if ob == nil {
+				ob = &leaseObserver{}
+				s.obs[s.keys[i]] = ob
+			}
+			lease, err := s.ls.TryClaim(s.keys[i], ob.stealEpoch(s.r.leaseExpirePolls()))
+			if err == nil {
+				// The claim replayed the tail; if the result landed between
+				// our scan and our claim, adopt it rather than recompute.
+				if out, ok, lerr := s.ls.Lookup(s.keys[i]); lerr != nil {
+					_ = s.ls.Release(s.keys[i])
+					s.err = fmt.Errorf("experiment: shared store: %w", lerr)
+					return 0, false
+				} else if ok {
+					_ = s.ls.Release(s.keys[i])
+					outcomes[i] = out
+					prog.report(out.Config, out, nil, false, true)
+					s.pending = append(s.pending[:n], s.pending[n+1:]...)
+					adopted = true
+					break // pending mutated; rescan from the top
+				}
+				s.pending = append(s.pending[:n], s.pending[n+1:]...)
+				return i, true
+			}
+			if !errors.Is(err, persist.ErrLeaseHeld) {
+				s.err = fmt.Errorf("experiment: lease claim: %w", err)
+				return 0, false
+			}
+			ob.observe(lease, s.r.leasePoll())
+		}
+		if len(s.pending) == 0 {
+			return 0, false
+		}
+		if adopted {
+			continue // rescan immediately; more cells may be claimable
+		}
+		// Every remaining cell is leased by another process: wait for its
+		// result to appear or its lease to stale out, then rescan.
+		s.mu.Unlock()
+		time.Sleep(s.r.leasePoll())
+		s.mu.Lock()
+	}
+}
+
+// runGridLeased drains the grid as one worker of a fleet sharing ls. A
+// lease-capable store always resumes: recorded cells are the fleet's shared
+// ground truth, regardless of r.Resume.
+func (r *Runner) runGridLeased(ls LeaseStore, cfgs []Config, keys []string, workers int) ([]*Outcome, error) {
+	outcomes := make([]*Outcome, len(cfgs))
+	errs := make([]error, len(cfgs))
+
+	if err := ls.Refresh(); err != nil {
+		return nil, fmt.Errorf("experiment: shared store refresh: %w", err)
+	}
+	var pending []int
+	for i := range cfgs {
+		out, ok, err := ls.Lookup(keys[i])
+		if err != nil {
+			return nil, fmt.Errorf("experiment: grid cell %d: store: %w", i, err)
+		}
+		if ok {
+			outcomes[i] = out
+			continue
+		}
+		pending = append(pending, i)
+	}
+	prog := newProgressTracker(r.Progress, len(cfgs))
+	for i := range cfgs {
+		if outcomes[i] != nil {
+			prog.report(outcomes[i].Config, outcomes[i], nil, true, false)
+		}
+	}
+
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	sched := &leaseScheduler{r: r, ls: ls, keys: keys, pending: pending, obs: make(map[string]*leaseObserver)}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := sched.next(prog, outcomes)
+				if !ok {
+					return
+				}
+				stop := r.renewLoop(ls, keys[i])
+				out, err := r.Run(cfgs[i])
+				if err == nil {
+					if rerr := ls.Record(keys[i], out); rerr != nil {
+						err = fmt.Errorf("store: %w", rerr)
+					}
+				}
+				stop()
+				_ = ls.Release(keys[i])
+				outcomes[i], errs[i] = out, err
+				if err != nil {
+					c := cfgs[i]
+					_ = c.Normalize() // validated before scheduling
+					prog.report(c, nil, err, false, false)
+					continue
+				}
+				prog.report(out.Config, out, nil, false, false)
+			}
+		}()
+	}
+	wg.Wait()
+	if sched.err != nil {
+		return nil, sched.err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiment: grid cell %d (%s/%s/%s): %w",
+				i, cfgs[i].Dataset, cfgs[i].Attack, cfgs[i].Defense, err)
+		}
+	}
+	return outcomes, nil
+}

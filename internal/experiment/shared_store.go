@@ -1,0 +1,121 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/persist"
+)
+
+// LeaseStore is a RunStore that additionally supports multi-process work
+// claiming: N worker processes drain one grid by leasing cells before
+// executing them, so every cell runs exactly once fleet-wide (and at most
+// twice under a crash, where bit-identical determinism makes the duplicate
+// compute benign — only the first result record lands).
+type LeaseStore interface {
+	RunStore
+	// Owner identifies this process in lease records.
+	Owner() string
+	// Refresh pulls in results and lease transitions other workers appended.
+	Refresh() error
+	// TryClaim attempts to lease key for Owner. stealEpoch authorizes
+	// reclaiming a lease whose epoch is at most that value (0 = never);
+	// contention returns the holder's lease with persist.ErrLeaseHeld.
+	TryClaim(key string, stealEpoch uint64) (persist.Lease, error)
+	// Renew proves liveness on a held lease; persist.ErrLeaseLost reports it
+	// was reclaimed.
+	Renew(key string) error
+	// Release frees the lease (safe to call even after losing it).
+	Release(key string) error
+}
+
+// SharedStore is the multi-process RunStore over a persist.SharedJournal:
+// the same JSONL cell records as JournalStore (a worker-written store
+// resumes fine under the single-owner -resume path and vice versa), plus
+// lease records under the "lease|" namespace that never collide with runKey
+// or baseline keys.
+type SharedStore struct {
+	j     *persist.SharedJournal
+	owner string
+}
+
+// OpenSharedStore opens (creating if needed) the shared run store at path.
+// An empty owner derives a hostname-pid identity.
+func OpenSharedStore(path, owner string) (*SharedStore, error) {
+	if owner == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		owner = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	j, err := persist.OpenShared(path)
+	if err != nil {
+		return nil, err
+	}
+	return &SharedStore{j: j, owner: owner}, nil
+}
+
+// Owner returns this process's lease identity.
+func (s *SharedStore) Owner() string { return s.owner }
+
+// Lookup returns the stored outcome for key in the current view; call
+// Refresh to pick up other workers' records.
+func (s *SharedStore) Lookup(key string) (*Outcome, bool, error) {
+	var rec storedOutcome
+	ok, err := s.j.Lookup(key, &rec)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return decodeOutcome(rec), true, nil
+}
+
+// Record stores the outcome under key unless some worker already did: the
+// check-then-append runs inside one exclusive-lock transaction, so even a
+// worker whose lease was stolen mid-cell cannot produce a duplicate record.
+func (s *SharedStore) Record(key string, out *Outcome) error {
+	return s.j.Update(func(tx *persist.Tx) error {
+		var existing json.RawMessage
+		if ok, err := tx.Lookup(key, &existing); err != nil {
+			return err
+		} else if ok {
+			return nil // first record wins; ours is bit-identical anyway
+		}
+		return tx.Append(key, encodeOutcome(out))
+	})
+}
+
+// Refresh replays records other workers appended since the last look.
+func (s *SharedStore) Refresh() error { return s.j.Refresh() }
+
+// TryClaim leases key for this store's owner (see LeaseStore).
+func (s *SharedStore) TryClaim(key string, stealEpoch uint64) (persist.Lease, error) {
+	return s.j.TryClaim(key, s.owner, stealEpoch)
+}
+
+// Renew proves liveness on a lease this owner holds.
+func (s *SharedStore) Renew(key string) error {
+	_, err := s.j.Renew(key, s.owner)
+	return err
+}
+
+// Release frees the lease on key; losing it first is not an error.
+func (s *SharedStore) Release(key string) error {
+	return s.j.Release(key, s.owner)
+}
+
+// Len reports the number of stored runs (lease records excluded, so the
+// count is comparable with JournalStore.Len on the same grid).
+func (s *SharedStore) Len() int {
+	n := 0
+	for _, k := range s.j.Keys() {
+		if !persist.IsLeaseKey(k) {
+			n++
+		}
+	}
+	return n
+}
+
+// Close releases the underlying journal.
+func (s *SharedStore) Close() error { return s.j.Close() }

@@ -106,6 +106,12 @@ type Engine struct {
 	// InitialPrev overrides the initial previous-global vector (checkpoint
 	// resume hands the w(t−1) an uninterrupted run would have had).
 	InitialPrev []float64
+
+	// Halt, when non-nil, is polled at every round boundary; returning true
+	// stops the loop before the next round starts, keeping all completed
+	// results — the graceful-drain hook. A drained run is indistinguishable
+	// from one configured with fewer rounds: no round is ever cut mid-flight.
+	Halt func() bool
 }
 
 // pendingUpdate is one in-flight update in async mode.
@@ -202,6 +208,9 @@ func (e *Engine) Run(initial []float64) (*Result, []float64, error) {
 	}
 
 	for round := e.StartRound; round < e.Rounds; round++ {
+		if e.Halt != nil && e.Halt() {
+			break
+		}
 		selected := sampler.Sample(selRng, round, e.TotalClients)
 		stats := RoundStats{
 			Round:           round,

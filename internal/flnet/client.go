@@ -99,6 +99,23 @@ func (e *CodecRejectedError) Error() string {
 	return fmt.Sprintf("flnet: join rejected: codec %q: %s", e.Codec, e.Reason)
 }
 
+// JoinRejectedError is the typed join failure for non-codec rejections on a
+// multi-tenant host: unknown federation, a full pending-join queue
+// (RejectAdmission — retry after a backoff), or a federation past its join
+// phase (RejectClosed).
+type JoinRejectedError struct {
+	// Federation is the ID the client asked for.
+	Federation string
+	// Code is the machine-readable rejection class (Reject* constants).
+	Code string
+	// Reason is the server's explanation.
+	Reason string
+}
+
+func (e *JoinRejectedError) Error() string {
+	return fmt.Sprintf("flnet: join rejected: federation %q: %s: %s", e.Federation, e.Code, e.Reason)
+}
+
 // Client is one networked federation participant.
 type Client struct {
 	conn    *Conn
@@ -118,6 +135,16 @@ func Dial(addr string, trainer Trainer, timeout time.Duration) (*Client, error) 
 // the join handshake. A server that does not serve the codec replies with a
 // rejection before round start, surfaced as *CodecRejectedError.
 func DialCodec(addr string, trainer Trainer, timeout time.Duration, spec codec.Spec) (*Client, error) {
+	return DialFederation(addr, "", trainer, timeout, spec)
+}
+
+// DialFederation connects to a (possibly multi-tenant) host and joins the
+// named federation, negotiating the given update codec at the handshake. An
+// empty federation joins a single-tenant server, or the sole federation of
+// a host — exactly what a legacy client's handshake asks for. Codec
+// refusals surface as *CodecRejectedError; every other typed rejection
+// (unknown federation, admission control, closed) as *JoinRejectedError.
+func DialFederation(addr, federation string, trainer Trainer, timeout time.Duration, spec codec.Spec) (*Client, error) {
 	if trainer == nil {
 		return nil, errors.New("flnet: trainer must not be nil")
 	}
@@ -129,7 +156,7 @@ func DialCodec(addr string, trainer Trainer, timeout time.Duration, spec codec.S
 		return nil, fmt.Errorf("flnet: dial %s: %w", addr, err)
 	}
 	conn := NewConn(raw, timeout)
-	if err := conn.Send(&Envelope{Type: MsgJoin, Codec: spec.String()}); err != nil {
+	if err := conn.Send(&Envelope{Type: MsgJoin, Codec: spec.String(), Federation: federation}); err != nil {
 		_ = conn.Close()
 		return nil, err
 	}
@@ -140,7 +167,12 @@ func DialCodec(addr string, trainer Trainer, timeout time.Duration, spec codec.S
 	}
 	if ack.Type == MsgJoinReject {
 		_ = conn.Close()
-		return nil, &CodecRejectedError{Codec: spec.String(), Reason: ack.Err}
+		// Legacy servers predate RejectCode; the only rejection they could
+		// produce was a codec refusal.
+		if ack.RejectCode == "" || ack.RejectCode == RejectCodec {
+			return nil, &CodecRejectedError{Codec: spec.String(), Reason: ack.Err}
+		}
+		return nil, &JoinRejectedError{Federation: federation, Code: ack.RejectCode, Reason: ack.Err}
 	}
 	if ack.Type != MsgJoinAck {
 		_ = conn.Close()

@@ -1,0 +1,575 @@
+package flnet
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/dataset"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/persist"
+)
+
+// Federation owns the per-tenant round state of one federated training run:
+// the engine configuration, aggregation rule, codec negotiation, checkpoint
+// path, evaluator and member sessions. A single-tenant Server wraps exactly
+// one Federation; a multi-tenant Host multiplexes several over one listener,
+// routed by the join handshake's Federation field. Heavy tensor math from
+// all federations in one process drains through the shared process-global
+// worker pool (internal/tensor), so co-hosted tenants share one compute
+// budget instead of oversubscribing the machine.
+type Federation struct {
+	id       string
+	cfg      ServerConfig
+	agg      fl.Aggregator
+	newModel func(rng *rand.Rand) *nn.Network
+	test     *dataset.Dataset
+	// eval reuses its worker clones and scratch arenas across the
+	// per-round evaluations.
+	eval *fl.Evaluator
+
+	mu       sync.Mutex
+	sessions []*session
+	full     bool
+	// filled is closed once MinClients members are admitted.
+	filled chan struct{}
+	// pending is the bounded admission queue for host-routed joins; Offer
+	// rejects (typed) rather than blocking when it is full.
+	pending chan pendingJoin
+	// draining requests a graceful stop at the next round boundary.
+	draining atomic.Bool
+}
+
+// pendingJoin is one handshake awaiting admission.
+type pendingJoin struct {
+	conn  *Conn
+	hello *Envelope
+}
+
+// NewFederation builds a federation with the given identity, configuration,
+// aggregation rule, model architecture and evaluation set. The ID names the
+// federation in join handshakes; a single-tenant Server uses "".
+func NewFederation(id string, cfg ServerConfig, agg fl.Aggregator, newModel func(rng *rand.Rand) *nn.Network, test *dataset.Dataset) (*Federation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if agg == nil {
+		return nil, errors.New("flnet: aggregator must not be nil")
+	}
+	queue := cfg.PendingJoins
+	if queue <= 0 {
+		queue = cfg.MinClients
+		if queue < 16 {
+			queue = 16
+		}
+	}
+	f := &Federation{
+		id:       id,
+		cfg:      cfg,
+		agg:      agg,
+		newModel: newModel,
+		test:     test,
+		filled:   make(chan struct{}),
+		pending:  make(chan pendingJoin, queue),
+	}
+	if test != nil {
+		f.eval = fl.NewEvaluator(test, cfg.EvalLimit)
+	}
+	return f, nil
+}
+
+// ID returns the federation's join-handshake identity.
+func (f *Federation) ID() string { return f.id }
+
+// Drain requests a graceful stop: the engine finishes the round in flight,
+// keeps every completed result, and hands members the final model exactly as
+// a naturally finished run would. Safe to call from any goroutine, more than
+// once, and before or during Run.
+func (f *Federation) Drain() { f.draining.Store(true) }
+
+// reject sends a typed join rejection and closes the connection.
+func reject(conn *Conn, code, reason string) {
+	_ = conn.Send(&Envelope{Type: MsgJoinReject, RejectCode: code, Err: reason})
+	_ = conn.Close()
+}
+
+// admit runs the join handshake for one connection whose MsgJoin hello has
+// been read: federation identity, admission state, codec negotiation. It
+// sends JoinAck or a typed JoinReject itself and reports whether the
+// connection became a member.
+func (f *Federation) admit(conn *Conn, hello *Envelope) bool {
+	// A named join must match; an empty one is the legacy protocol and
+	// always targets this federation (the host routed it here).
+	if hello.Federation != "" && hello.Federation != f.id {
+		reject(conn, RejectUnknownFederation, fmt.Sprintf("no federation %q here (serving %q)", hello.Federation, f.id))
+		return false
+	}
+	// Codec negotiation: a client is served iff it requests no codec
+	// (legacy dense updates) or exactly the federation's codec. Anything
+	// else is rejected here, with a typed reason, before round start —
+	// a mismatched client must never burn rounds as a permanent
+	// straggler. Rejected connections do not count toward MinClients.
+	if hello.Codec != "" && hello.Codec != f.cfg.Codec {
+		reject(conn, RejectCodec, fmt.Sprintf("codec %q not supported (federation: %q)", hello.Codec, f.cfg.Codec))
+		return false
+	}
+	spec, err := codec.ParseSpec(hello.Codec)
+	if err != nil {
+		reject(conn, RejectCodec, err.Error())
+		return false
+	}
+
+	f.mu.Lock()
+	if f.full || f.draining.Load() {
+		f.mu.Unlock()
+		reject(conn, RejectClosed, fmt.Sprintf("federation %q is not admitting members", f.id))
+		return false
+	}
+	id := len(f.sessions)
+	if err := conn.Send(&Envelope{Type: MsgJoinAck, ClientID: id, Codec: hello.Codec, Federation: f.id}); err != nil {
+		f.mu.Unlock()
+		_ = conn.Close()
+		return false
+	}
+	// The session survives the handshake: switch to the round deadline.
+	conn.Timeout = f.cfg.RoundTimeout
+	f.sessions = append(f.sessions, &session{id: id, conn: conn, spec: spec})
+	if len(f.sessions) == f.cfg.MinClients {
+		f.full = true
+		close(f.filled)
+	}
+	f.mu.Unlock()
+	return true
+}
+
+// memberCount reports the number of admitted sessions.
+func (f *Federation) memberCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.sessions)
+}
+
+// Offer hands a host-routed handshake to the federation's bounded admission
+// queue. A full queue (join storm) or a federation past its join phase
+// rejects immediately with a typed code instead of accumulating unbounded
+// half-open state; Run admits queued joins in arrival order.
+func (f *Federation) Offer(conn *Conn, hello *Envelope) {
+	f.mu.Lock()
+	closed := f.full || f.draining.Load()
+	f.mu.Unlock()
+	if closed {
+		reject(conn, RejectClosed, fmt.Sprintf("federation %q is not admitting members", f.id))
+		return
+	}
+	select {
+	case f.pending <- pendingJoin{conn: conn, hello: hello}:
+	default:
+		reject(conn, RejectAdmission, fmt.Sprintf("federation %q join queue is full; retry later", f.id))
+	}
+}
+
+// rejectQueued drains the pending queue, rejecting every waiting handshake.
+func (f *Federation) rejectQueued() {
+	for {
+		select {
+		case j := <-f.pending:
+			reject(j.conn, RejectClosed, fmt.Sprintf("federation %q is not admitting members", f.id))
+		default:
+			return
+		}
+	}
+}
+
+// startState is the resolved initial condition of the round loop: fresh
+// weights or a validated checkpoint.
+type startState struct {
+	weights, prev []float64
+	startRound    int
+	resumeMax     float64
+	resumeFinal   float64
+	global        *nn.Network
+}
+
+// prepare resolves the starting state before any client joins, so an
+// incompatible checkpoint fails fast instead of after the handshakes.
+func (f *Federation) prepare() (*startState, error) {
+	global := f.newModel(rand.New(rand.NewSource(f.cfg.Seed)))
+	st := &startState{
+		global:      global,
+		weights:     global.WeightVector(),
+		resumeFinal: -1.0,
+	}
+	cp, err := f.loadCheckpoint(len(st.weights))
+	if err != nil {
+		return nil, err
+	}
+	if cp != nil {
+		st.weights = cp.Weights
+		st.startRound = cp.Round + 1
+		// Restore the pre-crash metrics so acc_m covers the whole run even
+		// when its peak predates the restart (older checkpoints lack
+		// MaxAccuracy; the last round's accuracy is the best floor then).
+		for _, v := range []float64{cp.MaxAccuracy, cp.Accuracy} {
+			if !math.IsNaN(v) && v > st.resumeMax {
+				st.resumeMax = v
+			}
+		}
+		st.resumeFinal = cp.Accuracy
+		// The first resumed round must hand clients the same w(t-1) an
+		// uninterrupted run would have; only a fresh start uses prev == w(0).
+		if len(cp.PrevWeights) == len(st.weights) {
+			st.prev = cp.PrevWeights
+		}
+	}
+	if st.startRound > 0 && f.cfg.Scenario.Async != nil {
+		return nil, errors.New("flnet: checkpoint resume is not supported in async mode (in-flight updates are not checkpointed)")
+	}
+	if st.prev == nil || st.startRound == 0 {
+		st.prev = append([]float64(nil), st.weights...)
+	}
+	return st, nil
+}
+
+// Run waits for the federation to fill (admitting host-routed joins from the
+// pending queue, bounded by AcceptTimeout when configured), runs the
+// configured rounds, and returns the result. Call it once, after
+// registering the federation with a Host (or use Server for the
+// single-tenant accept loop).
+func (f *Federation) Run() (*ServerResult, error) {
+	st, err := f.prepare()
+	if err != nil {
+		return nil, err
+	}
+	var timeout <-chan time.Time
+	if f.cfg.AcceptTimeout > 0 {
+		timer := time.NewTimer(f.cfg.AcceptTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+joining:
+	for {
+		select {
+		case <-f.filled:
+			break joining
+		case j := <-f.pending:
+			f.admit(j.conn, j.hello)
+		case <-timeout:
+			return nil, fmt.Errorf("flnet: federation %q: join phase timed out after %v with %d/%d clients",
+				f.id, f.cfg.AcceptTimeout, f.memberCount(), f.cfg.MinClients)
+		}
+	}
+	f.rejectQueued()
+	defer f.rejectQueued()
+	return f.runEngine(st)
+}
+
+// runEngine drives the shared fl.Engine over the admitted sessions and
+// broadcasts the final model.
+func (f *Federation) runEngine(st *startState) (*ServerResult, error) {
+	f.mu.Lock()
+	sessions := append([]*session(nil), f.sessions...)
+	f.mu.Unlock()
+	defer func() {
+		for _, cl := range sessions {
+			_ = cl.conn.Close()
+		}
+	}()
+
+	eng := &fl.Engine{
+		TotalClients: len(sessions),
+		PerRound:     f.cfg.PerRound,
+		Rounds:       f.cfg.Rounds,
+		StartRound:   st.startRound,
+		EvalEvery:    1,
+		Seed:         f.cfg.Seed,
+		Scenario:     f.cfg.Scenario,
+		Transport:    &netTransport{fed: f, sessions: sessions},
+		Aggregator:   f.agg,
+		Observer:     f.cfg.Observer,
+		InitialMax:   st.resumeMax,
+		InitialPrev:  st.prev,
+		Halt:         f.draining.Load,
+	}
+	if f.test != nil {
+		eng.Evaluate = func(w []float64) (float64, error) {
+			if err := st.global.SetWeightVector(w); err != nil {
+				return 0, err
+			}
+			return f.eval.Accuracy(st.global, true), nil
+		}
+	}
+	if f.cfg.CheckpointPath != "" {
+		eng.OnRound = func(stats fl.RoundStats, w, p []float64, maxAcc float64) error {
+			cp := &persist.Checkpoint{
+				Round:       stats.Round,
+				Dataset:     f.cfg.DatasetName,
+				Model:       f.cfg.ModelName,
+				Seed:        f.cfg.Seed,
+				MinClients:  f.cfg.MinClients,
+				PerRound:    f.cfg.PerRound,
+				Weights:     w,
+				PrevWeights: p,
+				Accuracy:    stats.Accuracy,
+				MaxAccuracy: maxAcc,
+			}
+			if err := persist.Save(f.cfg.CheckpointPath, cp); err != nil {
+				return fmt.Errorf("flnet: round %d checkpoint: %w", stats.Round, err)
+			}
+			return nil
+		}
+	}
+
+	engRes, finalWeights, err := eng.Run(st.weights)
+	if err != nil {
+		return nil, fmt.Errorf("flnet: %w", err)
+	}
+	res := &ServerResult{
+		MaxAccuracy:   engRes.MaxAccuracy,
+		FinalAccuracy: engRes.FinalAccuracy,
+		FinalWeights:  finalWeights,
+	}
+	// A run that evaluated nothing (no test set, or zero remaining rounds)
+	// keeps the checkpoint's pre-crash accuracy as its final metric.
+	if math.IsNaN(res.FinalAccuracy) && st.resumeFinal >= 0 {
+		res.FinalAccuracy = st.resumeFinal
+	}
+	for _, stx := range engRes.Rounds {
+		res.Rounds = append(res.Rounds, RoundReport{
+			Round:        stx.Round,
+			Selected:     stx.Selected,
+			Dropped:      stx.Dropped,
+			Straggled:    stx.Straggled,
+			Responded:    stx.Responded,
+			Aggregations: stx.Aggregations,
+			Accuracy:     stx.Accuracy,
+		})
+	}
+
+	// Graceful shutdown: hand every client the final model.
+	final := &Envelope{Type: MsgDone, Weights: finalWeights}
+	for _, cl := range sessions {
+		_ = cl.conn.Send(final) // best effort; client may have vanished
+	}
+	return res, nil
+}
+
+// loadCheckpoint restores the latest checkpoint from CheckpointPath, if one
+// exists, validating that it belongs to this federation's task and
+// architecture before handing its weights to the round loop. A missing file
+// means a fresh start; a present-but-incompatible one is an error, because
+// silently training from mismatched weights would corrupt the federation.
+func (f *Federation) loadCheckpoint(wantLen int) (*persist.Checkpoint, error) {
+	if f.cfg.CheckpointPath == "" {
+		return nil, nil
+	}
+	cp, err := persist.LoadFile(f.cfg.CheckpointPath)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("flnet: resume: %w", err)
+	}
+	if f.cfg.DatasetName != "" && cp.Dataset != "" && cp.Dataset != f.cfg.DatasetName {
+		return nil, fmt.Errorf("flnet: resume: checkpoint dataset %q, server dataset %q", cp.Dataset, f.cfg.DatasetName)
+	}
+	if f.cfg.ModelName != "" && cp.Model != "" && cp.Model != f.cfg.ModelName {
+		return nil, fmt.Errorf("flnet: resume: checkpoint model %q, server model %q", cp.Model, f.cfg.ModelName)
+	}
+	if len(cp.Weights) != wantLen {
+		return nil, fmt.Errorf("flnet: resume: checkpoint has %d weights, model has %d", len(cp.Weights), wantLen)
+	}
+	if len(cp.PrevWeights) != 0 && len(cp.PrevWeights) != wantLen {
+		return nil, fmt.Errorf("flnet: resume: checkpoint has %d prev weights, model has %d", len(cp.PrevWeights), wantLen)
+	}
+	// MinClients > 0 marks a checkpoint that records the federation shape;
+	// a different seed or population would make the selection-stream
+	// replay produce a silent hybrid of two runs.
+	if cp.MinClients > 0 {
+		switch {
+		case cp.Seed != f.cfg.Seed:
+			return nil, fmt.Errorf("flnet: resume: checkpoint seed %d, server seed %d", cp.Seed, f.cfg.Seed)
+		case cp.MinClients != f.cfg.MinClients:
+			return nil, fmt.Errorf("flnet: resume: checkpoint population %d, server %d", cp.MinClients, f.cfg.MinClients)
+		case cp.PerRound != f.cfg.PerRound:
+			return nil, fmt.Errorf("flnet: resume: checkpoint selects %d per round, server %d", cp.PerRound, f.cfg.PerRound)
+		}
+	}
+	if cp.Round < 0 || cp.Round >= f.cfg.Rounds {
+		return nil, fmt.Errorf("flnet: resume: checkpoint round %d outside 0..%d", cp.Round, f.cfg.Rounds-1)
+	}
+	return cp, nil
+}
+
+// collectRound sends TrainRequests to the selected sessions concurrently
+// and gathers the updates that arrive before the deadline. Replies are
+// returned in selection order, not arrival order — the same contract as the
+// in-process simulator's transport — so aggregation sees a deterministic
+// update sequence regardless of scheduling (floating-point summation is
+// order-sensitive; arrival order would make co-tenant load leak into this
+// federation's bits).
+func (f *Federation) collectRound(sessions []*session, selected []int, round int, weights, prev []float64) []fl.Update {
+	type reply struct {
+		update fl.Update
+		ok     bool
+	}
+	replies := make([]reply, len(selected))
+	var wg sync.WaitGroup
+	for slot, idx := range selected {
+		cl := sessions[idx]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := &Envelope{
+				Type:        MsgTrainRequest,
+				Round:       round,
+				ClientID:    cl.id,
+				Weights:     weights,
+				PrevWeights: prev,
+			}
+			if err := cl.conn.Send(req); err != nil {
+				return
+			}
+			resp, err := cl.conn.Recv()
+			if err != nil || resp.Type != MsgUpdate || resp.Round != round {
+				return
+			}
+			u := fl.Update{ClientID: cl.id, NumSamples: resp.NumSamples}
+			if cl.spec.Enabled() {
+				// A compressed session must deliver a frame of exactly the
+				// negotiated spec; anything else fails closed and the
+				// client is treated as a straggler for the round.
+				frame, err := codec.DecodeWire(resp.Frame, len(weights))
+				if err != nil || frame.Dim != len(weights) || frame.Spec != cl.spec {
+					return
+				}
+				u.Frame = frame
+				u.Weights = frame.Reconstruct(weights)
+			} else {
+				if len(resp.Weights) != len(weights) {
+					return
+				}
+				u.Weights = resp.Weights
+			}
+			replies[slot] = reply{update: u, ok: true}
+		}()
+	}
+	wg.Wait()
+	var updates []fl.Update
+	for _, r := range replies {
+		if r.ok {
+			updates = append(updates, r.update)
+		}
+	}
+	return updates
+}
+
+// netTransport exposes the socket round-trip as an engine Transport: the
+// engine's responder set is contacted concurrently, and clients that miss
+// the RoundTimeout are simply absent from the returned updates.
+type netTransport struct {
+	fed      *Federation
+	sessions []*session
+}
+
+// Collect implements fl.Transport.
+func (t *netTransport) Collect(round int, ids []int, global, prev []float64) ([]fl.Update, error) {
+	return t.fed.collectRound(t.sessions, ids, round, global, prev), nil
+}
+
+// Host multiplexes several federations over one listener: every accepted
+// connection's join handshake is read once, routed to the federation the
+// hello names, and admitted through that federation's bounded queue. The
+// federations' round loops run independently (each via Federation.Run);
+// only the accept path and the process-wide tensor worker pool are shared.
+type Host struct {
+	// HandshakeTimeout bounds the hello read on each accepted connection
+	// (0 = 5s), so a silent peer cannot wedge the shared accept path.
+	HandshakeTimeout time.Duration
+
+	mu   sync.Mutex
+	feds map[string]*Federation
+	sole *Federation // set iff exactly one federation is registered
+}
+
+// NewHost returns an empty host.
+func NewHost() *Host {
+	return &Host{feds: make(map[string]*Federation)}
+}
+
+// Add registers a federation under its ID. IDs must be unique; a host with
+// exactly one federation also serves legacy clients whose hello names no
+// federation at all.
+func (h *Host) Add(f *Federation) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.feds[f.id]; dup {
+		return fmt.Errorf("flnet: duplicate federation %q", f.id)
+	}
+	h.feds[f.id] = f
+	if len(h.feds) == 1 {
+		h.sole = f
+	} else {
+		h.sole = nil
+	}
+	return nil
+}
+
+// route resolves the federation a hello targets: the named one, or the sole
+// registered federation when the hello is anonymous (legacy client).
+func (h *Host) route(name string) *Federation {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if f, ok := h.feds[name]; ok {
+		return f
+	}
+	if name == "" {
+		return h.sole
+	}
+	return nil
+}
+
+// Serve accepts and routes connections until the listener closes. Each
+// handshake is read in its own goroutine under HandshakeTimeout, so a slow
+// peer stalls neither the accept loop nor the other federations. The
+// listener is not closed; the caller owns it and ends Serve by closing it.
+func (h *Host) Serve(lis net.Listener) error {
+	hsTimeout := h.HandshakeTimeout
+	if hsTimeout <= 0 {
+		hsTimeout = 5 * time.Second
+	}
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		raw, err := lis.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("flnet: host accept: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn := NewConn(raw, hsTimeout)
+			hello, err := conn.Recv()
+			if err != nil || hello.Type != MsgJoin {
+				_ = conn.Close() // a scanner, half-open dial or silent peer
+				return
+			}
+			fed := h.route(hello.Federation)
+			if fed == nil {
+				reject(conn, RejectUnknownFederation, fmt.Sprintf("no federation %q on this host", hello.Federation))
+				return
+			}
+			fed.Offer(conn, hello)
+		}()
+	}
+}

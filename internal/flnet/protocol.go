@@ -31,9 +31,26 @@ const (
 	MsgUpdate
 	MsgDone
 	// MsgJoinReject closes the handshake before round start when the
-	// server cannot serve the client's requested codec; Err carries the
-	// reason.
+	// server cannot serve the client; Err carries the reason and RejectCode
+	// (when set) a machine-readable class.
 	MsgJoinReject
+)
+
+// Typed join-rejection codes carried in Envelope.RejectCode. Legacy servers
+// send none (the field decodes empty), which clients treat as RejectCodec —
+// the only rejection the pre-federation protocol could produce.
+const (
+	// RejectCodec: the requested update codec is not served.
+	RejectCodec = "codec"
+	// RejectUnknownFederation: no federation with the requested ID exists on
+	// this host.
+	RejectUnknownFederation = "unknown-federation"
+	// RejectAdmission: the federation's pending-join queue is full (a join
+	// storm); the client may retry after a backoff.
+	RejectAdmission = "admission"
+	// RejectClosed: the federation is full, training, or draining — it will
+	// not admit members again.
+	RejectClosed = "closed"
 )
 
 // String returns the message-type name.
@@ -83,6 +100,14 @@ type Envelope struct {
 	Frame []byte
 	// Err carries the rejection reason in JoinReject.
 	Err string
+	// Federation names the federation the client wants to join (Join
+	// messages on a multi-tenant host). Empty joins the host's sole
+	// federation — which is how every legacy client decodes, so old binaries
+	// keep working against single-tenant hosts.
+	Federation string
+	// RejectCode is the machine-readable rejection class in JoinReject
+	// (see the Reject* constants); empty from legacy servers.
+	RejectCode string
 }
 
 // maxFrameSize bounds a frame to guard against corrupted length prefixes.

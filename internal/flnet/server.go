@@ -3,21 +3,18 @@ package flnet
 import (
 	"errors"
 	"fmt"
-	"io/fs"
-	"math"
 	"math/rand"
 	"net"
-	"sync"
 	"time"
 
 	"repro/internal/codec"
 	"repro/internal/dataset"
 	"repro/internal/fl"
 	"repro/internal/nn"
-	"repro/internal/persist"
 )
 
-// ServerConfig configures the networked federation server.
+// ServerConfig configures one federation (whether served single-tenant by
+// Server or multiplexed with others by Host).
 type ServerConfig struct {
 	// MinClients is the population size the server waits for before
 	// training starts (the paper's N).
@@ -35,10 +32,18 @@ type ServerConfig struct {
 	// cannot hold the join phase for a full RoundTimeout. 0 defaults to 5s.
 	HandshakeTimeout time.Duration
 	// AcceptTimeout, when positive, bounds the whole join phase: if
-	// MinClients have not completed the handshake within it, Serve fails
-	// instead of waiting forever. Requires a deadline-capable listener
-	// (TCP/Unix); 0 preserves the legacy wait-forever behaviour.
+	// MinClients have not completed the handshake within it, Serve (or
+	// Federation.Run) fails instead of waiting forever. Single-tenant Serve
+	// requires a deadline-capable listener (TCP/Unix); 0 preserves the
+	// legacy wait-forever behaviour.
 	AcceptTimeout time.Duration
+	// PendingJoins bounds the queue of handshakes awaiting admission on a
+	// multi-tenant host — the admission control for join storms: joins
+	// beyond the bound are rejected immediately with RejectAdmission (the
+	// client may retry) instead of accumulating unbounded half-open state.
+	// 0 defaults to max(MinClients, 16). Single-tenant Serve admits inline
+	// off the accept loop and never queues.
+	PendingJoins int
 	// EvalLimit caps test samples per evaluation (0 = all).
 	EvalLimit int
 	// Seed drives client selection and model initialization.
@@ -46,7 +51,8 @@ type ServerConfig struct {
 	// CheckpointPath, when non-empty, atomically persists the global model
 	// after every round so a restarted server can resume from disk: Serve
 	// loads and validates an existing checkpoint at start and continues
-	// from the round after the one it records.
+	// from the round after the one it records. Co-hosted federations must
+	// use distinct paths.
 	CheckpointPath string
 	// DatasetName and ModelName annotate checkpoints for load-side
 	// validation.
@@ -81,6 +87,8 @@ func (c *ServerConfig) Validate() error {
 		return fmt.Errorf("flnet: PerRound %d out of range (1..%d)", c.PerRound, c.MinClients)
 	case c.Rounds <= 0:
 		return errors.New("flnet: Rounds must be positive")
+	case c.PendingJoins < 0:
+		return errors.New("flnet: PendingJoins must not be negative")
 	}
 	if c.RoundTimeout <= 0 {
 		c.RoundTimeout = 30 * time.Second
@@ -136,31 +144,23 @@ type session struct {
 	spec codec.Spec
 }
 
-// Server drives federated training over real connections.
+// Server drives federated training over real connections: the single-tenant
+// deployment, owning one anonymous Federation and the accept loop that
+// fills it. Multi-tenant deployments build Federations directly and
+// multiplex them with a Host.
 type Server struct {
-	cfg      ServerConfig
-	agg      fl.Aggregator
-	newModel func(rng *rand.Rand) *nn.Network
-	test     *dataset.Dataset
-	// eval reuses its worker clones and scratch arenas across the
-	// per-round evaluations.
-	eval *fl.Evaluator
+	cfg ServerConfig
+	fed *Federation
 }
 
 // NewServer builds a server with the given aggregation rule, model
 // architecture and evaluation set.
 func NewServer(cfg ServerConfig, agg fl.Aggregator, newModel func(rng *rand.Rand) *nn.Network, test *dataset.Dataset) (*Server, error) {
-	if err := cfg.Validate(); err != nil {
+	fed, err := NewFederation("", cfg, agg, newModel, test)
+	if err != nil {
 		return nil, err
 	}
-	if agg == nil {
-		return nil, errors.New("flnet: aggregator must not be nil")
-	}
-	s := &Server{cfg: cfg, agg: agg, newModel: newModel, test: test}
-	if test != nil {
-		s.eval = fl.NewEvaluator(test, cfg.EvalLimit)
-	}
-	return s, nil
+	return &Server{cfg: fed.cfg, fed: fed}, nil
 }
 
 // Serve accepts MinClients clients on lis, runs the configured rounds, and
@@ -168,191 +168,21 @@ func NewServer(cfg ServerConfig, agg fl.Aggregator, newModel func(rng *rand.Rand
 func (s *Server) Serve(lis net.Listener) (*ServerResult, error) {
 	// Resolve the starting state before any client joins, so an
 	// incompatible checkpoint fails fast instead of after the handshakes.
-	global := s.newModel(rand.New(rand.NewSource(s.cfg.Seed)))
-	weights := global.WeightVector()
-	startRound := 0
-	resumeMax, resumeFinal := 0.0, -1.0
-	var resumePrev []float64
-	if cp, err := s.loadCheckpoint(len(weights)); err != nil {
-		return nil, err
-	} else if cp != nil {
-		weights = cp.Weights
-		resumePrev = cp.PrevWeights // w(t-1); empty in pre-field checkpoints
-		startRound = cp.Round + 1
-		// Restore the pre-crash metrics so acc_m covers the whole run even
-		// when its peak predates the restart (older checkpoints lack
-		// MaxAccuracy; the last round's accuracy is the best floor then).
-		for _, v := range []float64{cp.MaxAccuracy, cp.Accuracy} {
-			if !math.IsNaN(v) && v > resumeMax {
-				resumeMax = v
-			}
-		}
-		resumeFinal = cp.Accuracy
-	}
-
-	if startRound > 0 && s.cfg.Scenario.Async != nil {
-		return nil, errors.New("flnet: checkpoint resume is not supported in async mode (in-flight updates are not checkpointed)")
-	}
-
-	sessions, err := s.acceptClients(lis)
+	st, err := s.fed.prepare()
 	if err != nil {
 		return nil, err
 	}
-	defer func() {
-		for _, cl := range sessions {
-			_ = cl.conn.Close()
-		}
-	}()
-
-	// The first resumed round must hand clients the same w(t-1) an
-	// uninterrupted run would have; only a fresh start uses prev == w(0).
-	prev := append([]float64(nil), weights...)
-	if len(resumePrev) == len(weights) && startRound > 0 {
-		prev = resumePrev
+	if err := s.acceptClients(lis); err != nil {
+		return nil, err
 	}
-
-	eng := &fl.Engine{
-		TotalClients: len(sessions),
-		PerRound:     s.cfg.PerRound,
-		Rounds:       s.cfg.Rounds,
-		StartRound:   startRound,
-		EvalEvery:    1,
-		Seed:         s.cfg.Seed,
-		Scenario:     s.cfg.Scenario,
-		Transport:    &netTransport{server: s, sessions: sessions},
-		Aggregator:   s.agg,
-		Observer:     s.cfg.Observer,
-		InitialMax:   resumeMax,
-		InitialPrev:  prev,
-	}
-	if s.test != nil {
-		eng.Evaluate = func(w []float64) (float64, error) {
-			if err := global.SetWeightVector(w); err != nil {
-				return 0, err
-			}
-			return s.eval.Accuracy(global, true), nil
-		}
-	}
-	if s.cfg.CheckpointPath != "" {
-		eng.OnRound = func(stats fl.RoundStats, w, p []float64, maxAcc float64) error {
-			cp := &persist.Checkpoint{
-				Round:       stats.Round,
-				Dataset:     s.cfg.DatasetName,
-				Model:       s.cfg.ModelName,
-				Seed:        s.cfg.Seed,
-				MinClients:  s.cfg.MinClients,
-				PerRound:    s.cfg.PerRound,
-				Weights:     w,
-				PrevWeights: p,
-				Accuracy:    stats.Accuracy,
-				MaxAccuracy: maxAcc,
-			}
-			if err := persist.Save(s.cfg.CheckpointPath, cp); err != nil {
-				return fmt.Errorf("flnet: round %d checkpoint: %w", stats.Round, err)
-			}
-			return nil
-		}
-	}
-
-	engRes, finalWeights, err := eng.Run(weights)
-	if err != nil {
-		return nil, fmt.Errorf("flnet: %w", err)
-	}
-	res := &ServerResult{
-		MaxAccuracy:   engRes.MaxAccuracy,
-		FinalAccuracy: engRes.FinalAccuracy,
-		FinalWeights:  finalWeights,
-	}
-	// A run that evaluated nothing (no test set, or zero remaining rounds)
-	// keeps the checkpoint's pre-crash accuracy as its final metric.
-	if math.IsNaN(res.FinalAccuracy) && resumeFinal >= 0 {
-		res.FinalAccuracy = resumeFinal
-	}
-	for _, st := range engRes.Rounds {
-		res.Rounds = append(res.Rounds, RoundReport{
-			Round:        st.Round,
-			Selected:     st.Selected,
-			Dropped:      st.Dropped,
-			Straggled:    st.Straggled,
-			Responded:    st.Responded,
-			Aggregations: st.Aggregations,
-			Accuracy:     st.Accuracy,
-		})
-	}
-
-	// Graceful shutdown: hand every client the final model.
-	final := &Envelope{Type: MsgDone, Weights: finalWeights}
-	for _, cl := range sessions {
-		_ = cl.conn.Send(final) // best effort; client may have vanished
-	}
-	return res, nil
-}
-
-// netTransport exposes the socket round-trip as an engine Transport: the
-// engine's responder set is contacted concurrently, and clients that miss
-// the RoundTimeout are simply absent from the returned updates.
-type netTransport struct {
-	server   *Server
-	sessions []*session
-}
-
-// Collect implements fl.Transport.
-func (t *netTransport) Collect(round int, ids []int, global, prev []float64) ([]fl.Update, error) {
-	return t.server.collectRound(t.sessions, ids, round, global, prev), nil
-}
-
-// loadCheckpoint restores the latest checkpoint from CheckpointPath, if one
-// exists, validating that it belongs to this server's task and architecture
-// before handing its weights to the round loop. A missing file means a
-// fresh start; a present-but-incompatible one is an error, because silently
-// training from mismatched weights would corrupt the federation.
-func (s *Server) loadCheckpoint(wantLen int) (*persist.Checkpoint, error) {
-	if s.cfg.CheckpointPath == "" {
-		return nil, nil
-	}
-	cp, err := persist.LoadFile(s.cfg.CheckpointPath)
-	if err != nil {
-		if errors.Is(err, fs.ErrNotExist) {
-			return nil, nil
-		}
-		return nil, fmt.Errorf("flnet: resume: %w", err)
-	}
-	if s.cfg.DatasetName != "" && cp.Dataset != "" && cp.Dataset != s.cfg.DatasetName {
-		return nil, fmt.Errorf("flnet: resume: checkpoint dataset %q, server dataset %q", cp.Dataset, s.cfg.DatasetName)
-	}
-	if s.cfg.ModelName != "" && cp.Model != "" && cp.Model != s.cfg.ModelName {
-		return nil, fmt.Errorf("flnet: resume: checkpoint model %q, server model %q", cp.Model, s.cfg.ModelName)
-	}
-	if len(cp.Weights) != wantLen {
-		return nil, fmt.Errorf("flnet: resume: checkpoint has %d weights, model has %d", len(cp.Weights), wantLen)
-	}
-	if len(cp.PrevWeights) != 0 && len(cp.PrevWeights) != wantLen {
-		return nil, fmt.Errorf("flnet: resume: checkpoint has %d prev weights, model has %d", len(cp.PrevWeights), wantLen)
-	}
-	// MinClients > 0 marks a checkpoint that records the federation shape;
-	// a different seed or population would make the selection-stream
-	// replay produce a silent hybrid of two runs.
-	if cp.MinClients > 0 {
-		switch {
-		case cp.Seed != s.cfg.Seed:
-			return nil, fmt.Errorf("flnet: resume: checkpoint seed %d, server seed %d", cp.Seed, s.cfg.Seed)
-		case cp.MinClients != s.cfg.MinClients:
-			return nil, fmt.Errorf("flnet: resume: checkpoint population %d, server %d", cp.MinClients, s.cfg.MinClients)
-		case cp.PerRound != s.cfg.PerRound:
-			return nil, fmt.Errorf("flnet: resume: checkpoint selects %d per round, server %d", cp.PerRound, s.cfg.PerRound)
-		}
-	}
-	if cp.Round < 0 || cp.Round >= s.cfg.Rounds {
-		return nil, fmt.Errorf("flnet: resume: checkpoint round %d outside 0..%d", cp.Round, s.cfg.Rounds-1)
-	}
-	return cp, nil
+	return s.fed.runEngine(st)
 }
 
 // acceptClients performs the join handshake for MinClients connections.
 // Each handshake runs under HandshakeTimeout, so a half-open or garbage
 // connection cannot hold the join phase for a full RoundTimeout, and the
 // whole phase is bounded by AcceptTimeout when configured.
-func (s *Server) acceptClients(lis net.Listener) ([]*session, error) {
+func (s *Server) acceptClients(lis net.Listener) error {
 	var deadline time.Time
 	if s.cfg.AcceptTimeout > 0 {
 		deadline = time.Now().Add(s.cfg.AcceptTimeout)
@@ -366,119 +196,28 @@ func (s *Server) acceptClients(lis net.Listener) ([]*session, error) {
 		return fmt.Errorf("flnet: accept: join phase timed out after %v with %d/%d clients",
 			s.cfg.AcceptTimeout, n, s.cfg.MinClients)
 	}
-	sessions := make([]*session, 0, s.cfg.MinClients)
-	for len(sessions) < s.cfg.MinClients {
+	for s.fed.memberCount() < s.cfg.MinClients {
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
-			return nil, timedOut(len(sessions))
+			return timedOut(s.fed.memberCount())
 		}
 		raw, err := lis.Accept()
 		if err != nil {
 			var ne net.Error
 			if !deadline.IsZero() && errors.As(err, &ne) && ne.Timeout() {
-				return nil, timedOut(len(sessions))
+				return timedOut(s.fed.memberCount())
 			}
-			return nil, fmt.Errorf("flnet: accept: %w", err)
+			return fmt.Errorf("flnet: accept: %w", err)
 		}
 		conn := NewConn(raw, s.cfg.HandshakeTimeout)
 		hello, err := conn.Recv()
-		if err != nil {
-			_ = conn.Close()
-			continue // a scanner, half-open dial or silent peer; keep waiting
-		}
-		if hello.Type != MsgJoin {
-			_ = conn.Close()
+		if err != nil || hello.Type != MsgJoin {
+			_ = conn.Close() // a scanner, half-open dial or silent peer
 			continue
 		}
-		// Codec negotiation: a client is served iff it requests no codec
-		// (legacy dense updates) or exactly the server's codec. Anything
-		// else is rejected here, with a typed reason, before round start —
-		// a mismatched client must never burn rounds as a permanent
-		// straggler. Rejected connections do not count toward MinClients.
-		if hello.Codec != "" && hello.Codec != s.cfg.Codec {
-			_ = conn.Send(&Envelope{
-				Type: MsgJoinReject,
-				Err:  fmt.Sprintf("codec %q not supported (server: %q)", hello.Codec, s.cfg.Codec),
-			})
-			_ = conn.Close()
-			continue
-		}
-		spec, err := codec.ParseSpec(hello.Codec)
-		if err != nil {
-			_ = conn.Send(&Envelope{Type: MsgJoinReject, Err: err.Error()})
-			_ = conn.Close()
-			continue
-		}
-		id := len(sessions)
-		if err := conn.Send(&Envelope{Type: MsgJoinAck, ClientID: id, Codec: hello.Codec}); err != nil {
-			_ = conn.Close()
-			continue
-		}
-		// The session survives the handshake: switch to the round deadline.
-		conn.Timeout = s.cfg.RoundTimeout
-		sessions = append(sessions, &session{id: id, conn: conn, spec: spec})
+		// Admission (federation identity, codec negotiation, JoinAck) is the
+		// federation's own; rejected connections do not count toward
+		// MinClients.
+		s.fed.admit(conn, hello)
 	}
-	return sessions, nil
-}
-
-// collectRound sends TrainRequests to the selected sessions concurrently
-// and gathers the updates that arrive before the deadline.
-func (s *Server) collectRound(sessions []*session, selected []int, round int, weights, prev []float64) []fl.Update {
-	type reply struct {
-		update fl.Update
-		ok     bool
-	}
-	replies := make(chan reply, len(selected))
-	var wg sync.WaitGroup
-	for _, idx := range selected {
-		cl := sessions[idx]
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			req := &Envelope{
-				Type:        MsgTrainRequest,
-				Round:       round,
-				ClientID:    cl.id,
-				Weights:     weights,
-				PrevWeights: prev,
-			}
-			if err := cl.conn.Send(req); err != nil {
-				replies <- reply{}
-				return
-			}
-			resp, err := cl.conn.Recv()
-			if err != nil || resp.Type != MsgUpdate || resp.Round != round {
-				replies <- reply{}
-				return
-			}
-			u := fl.Update{ClientID: cl.id, NumSamples: resp.NumSamples}
-			if cl.spec.Enabled() {
-				// A compressed session must deliver a frame of exactly the
-				// negotiated spec; anything else fails closed and the
-				// client is treated as a straggler for the round.
-				frame, err := codec.DecodeWire(resp.Frame, len(weights))
-				if err != nil || frame.Dim != len(weights) || frame.Spec != cl.spec {
-					replies <- reply{}
-					return
-				}
-				u.Frame = frame
-				u.Weights = frame.Reconstruct(weights)
-			} else {
-				if len(resp.Weights) != len(weights) {
-					replies <- reply{}
-					return
-				}
-				u.Weights = resp.Weights
-			}
-			replies <- reply{update: u, ok: true}
-		}()
-	}
-	wg.Wait()
-	close(replies)
-	var updates []fl.Update
-	for r := range replies {
-		if r.ok {
-			updates = append(updates, r.update)
-		}
-	}
-	return updates
+	return nil
 }

@@ -36,6 +36,25 @@ func FuzzJournalRecover(f *testing.F) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
+		// The shared (multi-writer) journal reads the same format; its
+		// recovery verdict must agree with the single-owner journal's on the
+		// same bytes, and an accepted file must survive an Update round-trip.
+		if s, serr := OpenShared(path); serr == nil {
+			if err := s.Append("__fuzz_shared__", struct {
+				N int `json:"n"`
+			}{N: 7}); err != nil {
+				t.Fatalf("shared append after successful open: %v", err)
+			}
+			var got struct {
+				N int `json:"n"`
+			}
+			if ok, err := s.Lookup("__fuzz_shared__", &got); err != nil || !ok || got.N != 7 {
+				t.Fatalf("shared probe: ok=%v err=%v got=%+v", ok, err, got)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("shared close: %v", err)
+			}
+		}
 		j, err := OpenJournal(path)
 		if err != nil {
 			return // rejected as unrecoverable: a legal verdict for fuzz bytes

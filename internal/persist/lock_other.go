@@ -5,19 +5,46 @@ package persist
 import (
 	"fmt"
 	"os"
+	"time"
 )
 
 // lockJournal guards the journal with an exclusive sidecar lock file on
 // platforms without flock semantics. Unlike flock, the sidecar survives a
 // crash: a stale lock makes the next open fail loudly (naming the file to
 // delete) rather than risk two writers silently corrupting the store.
+// Contention is reported as ErrLeaseHeld so callers can back off instead of
+// treating it as corruption.
 func lockJournal(path string, _ *os.File) (func(), error) {
 	lockPath := path + ".lock"
 	f, err := os.OpenFile(lockPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("lock file %s exists (delete it if its owner crashed): %w", lockPath, err)
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("%w: lock file %s exists (delete it if its owner crashed)", ErrLeaseHeld, lockPath)
+		}
+		return nil, fmt.Errorf("lock file %s: %w", lockPath, err)
 	}
 	fmt.Fprintf(f, "%d\n", os.Getpid())
 	_ = f.Close()
 	return func() { _ = os.Remove(lockPath) }, nil
+}
+
+// flockFile emulates the shared journal's short-lived advisory lock with a
+// spin on an exclusive sidecar. Shared and exclusive collapse to the same
+// exclusive sidecar (no reader/writer distinction without flock); a stale
+// sidecar from a crashed worker is waited out rather than repaired — the
+// portable fallback trades liveness under crashes for safety.
+func flockFile(_ *os.File, path string, _ bool) (func(), error) {
+	lockPath := path + ".oplock"
+	for {
+		f, err := os.OpenFile(lockPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			fmt.Fprintf(f, "%d\n", os.Getpid())
+			_ = f.Close()
+			return func() { _ = os.Remove(lockPath) }, nil
+		}
+		if !os.IsExist(err) {
+			return nil, fmt.Errorf("persist: shared journal lock %s: %w", lockPath, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }

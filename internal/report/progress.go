@@ -20,6 +20,8 @@ func Progress(w io.Writer) func(experiment.ProgressEvent) {
 		switch {
 		case ev.Err != nil:
 			status = fmt.Sprintf(" FAILED: %v", ev.Err)
+		case ev.Remote:
+			status = " (completed by another worker)"
 		case ev.Skipped:
 			status = " (resumed from store)"
 		}

@@ -73,6 +73,16 @@ type RunOptions struct {
 	// Resume replays cells already present in the store instead of
 	// recomputing them; requires StorePath.
 	Resume bool
+	// Worker opens StorePath as a shared lease-coordinated store so several
+	// processes can drain one grid concurrently: each cell is claimed under
+	// a crash-tolerant lease before it runs, results already recorded by
+	// other workers are adopted instead of recomputed, and expired leases of
+	// crashed workers are reclaimed. Implies resume semantics (the shared
+	// store is the fleet's ground truth); requires StorePath.
+	Worker bool
+	// Owner names this worker in lease records (diagnostics only; it never
+	// affects results). Empty defaults to hostname-pid.
+	Owner string
 	// Progress, when non-nil, receives one event per completed cell.
 	Progress func(ProgressEvent)
 	// Threads pins the kernel worker-pool size (see SetThreads); 0 keeps
@@ -101,28 +111,54 @@ func RunConfig(cfg Config) (*Outcome, error) {
 // a StorePath the completed run (and its clean baseline) is journaled, and
 // with Resume a journaled run is replayed instead of recomputed.
 func RunConfigOpts(cfg Config, opts RunOptions) (*Outcome, error) {
-	if opts.Resume && opts.StorePath == "" {
-		return nil, fmt.Errorf("repro: Resume requires StorePath")
-	}
 	if opts.Threads > 0 {
 		SetThreads(opts.Threads)
 	}
 	runner := experiment.NewRunner()
 	runner.Progress = opts.Progress
-	if opts.StorePath != "" {
-		store, err := experiment.OpenStore(opts.StorePath)
-		if err != nil {
-			return nil, err
-		}
-		defer store.Close()
-		runner.Store = store
-		runner.Resume = opts.Resume
+	closeStore, err := attachStore(runner, opts)
+	if err != nil {
+		return nil, err
 	}
+	defer closeStore()
 	outs, err := runner.RunGrid([]Config{cfg}, 1)
 	if err != nil {
 		return nil, err
 	}
 	return outs[0], nil
+}
+
+// attachStore opens the run store the options describe — none, a
+// single-owner journal, or (Worker) a shared lease-coordinated store — and
+// wires it into the runner. The returned func closes whatever was opened.
+func attachStore(runner *experiment.Runner, opts RunOptions) (func(), error) {
+	if opts.StorePath == "" {
+		switch {
+		case opts.Resume:
+			return nil, fmt.Errorf("repro: Resume requires StorePath")
+		case opts.Worker:
+			return nil, fmt.Errorf("repro: Worker requires StorePath")
+		}
+		return func() {}, nil
+	}
+	if opts.Worker {
+		store, err := experiment.OpenSharedStore(opts.StorePath, opts.Owner)
+		if err != nil {
+			return nil, err
+		}
+		runner.Store = store
+		// The leased grid always resumes: the shared store is the fleet's
+		// ground truth, so recorded cells are adopted, never recomputed.
+		runner.Resume = true
+		return func() { _ = store.Close() }, nil
+	}
+	store, err := experiment.OpenStore(opts.StorePath)
+	if err != nil {
+		return nil, err
+	}
+	runner.Store = store
+	runner.Resume = opts.Resume
+	return func() { _ = store.Close() }, nil
 }
 
 // ProgressWriter returns a RunOptions.Progress callback that streams one
@@ -162,24 +198,17 @@ func RunExperimentOpts(id string, opts RunOptions, w io.Writer) error {
 	if !ok {
 		return fmt.Errorf("repro: unknown profile %q (known: quick, full)", opts.Profile)
 	}
-	if opts.Resume && opts.StorePath == "" {
-		return fmt.Errorf("repro: Resume requires StorePath")
-	}
 	if opts.Threads > 0 {
 		SetThreads(opts.Threads)
 	}
 	runner := experiment.NewRunner()
 	runner.AverageSeeds = profile.SeedCount
 	runner.Progress = opts.Progress
-	if opts.StorePath != "" {
-		store, err := experiment.OpenStore(opts.StorePath)
-		if err != nil {
-			return err
-		}
-		defer store.Close()
-		runner.Store = store
-		runner.Resume = opts.Resume
+	closeStore, err := attachStore(runner, opts)
+	if err != nil {
+		return err
 	}
+	defer closeStore()
 	if _, err := fmt.Fprintf(w, "# %s [profile=%s]\n", exp.Title, profile.Name); err != nil {
 		return err
 	}

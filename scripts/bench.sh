@@ -19,6 +19,7 @@ trap 'rm -f "$tmp"' EXIT
 go test -run '^$' -bench . -benchtime "$benchtime" \
 	./internal/tensor ./internal/nn ./internal/defense ./internal/fl \
 	./internal/forensics ./internal/codec \
+	./internal/persist ./internal/experiment ./internal/flnet \
 	| tee "$tmp" >&2
 
 {
