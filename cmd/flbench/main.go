@@ -45,6 +45,7 @@ func run(args []string) error {
 	worker := fs.Bool("worker", false, "drain the grid cooperatively with other -worker processes sharing -store, claiming cells under crash-tolerant leases (implies resume semantics)")
 	owner := fs.String("owner", "", "worker name recorded in lease records (diagnostics only; default hostname-pid)")
 	progress := fs.Bool("progress", false, "stream per-cell completion lines with ETA to stderr")
+	opsAddr := fs.String("ops-addr", "", "serve the sweep's ops endpoint over HTTP at this address, e.g. :9090: Prometheus metrics at /metrics (cells, lease protocol, kernel pool) and pprof under /debug/pprof/ (empty = off)")
 	threads := fs.Int("threads", 0, "kernel worker-pool size for training/defense compute (0 = GOMAXPROCS); never changes results")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	if err := fs.Parse(args); err != nil {
@@ -72,6 +73,7 @@ func run(args []string) error {
 		Worker:    *worker,
 		Owner:     *owner,
 		Threads:   *threads,
+		OpsAddr:   *opsAddr,
 	}
 	if *progress {
 		opts.Progress = repro.ProgressWriter(os.Stderr)

@@ -25,6 +25,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/flnet"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -48,6 +49,7 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 60*time.Second, "connection timeout")
 	federation := fs.String("federation", "", "federation ID to join on a multi-tenant host (empty = the host's sole federation, which is what a single-tenant server serves)")
 	codecToken := fs.String("codec", "", "update codec to negotiate at join, as a codec spec token: raw, fp16, int8, optionally with ,topk=<frac> and ,ef — must match the server's -codec (empty = legacy dense updates)")
+	opsAddr := fs.String("ops-addr", "", "serve this client's ops endpoint over HTTP at this address, e.g. :9091: Prometheus metrics at /metrics (rounds trained, local training time, update coordinates) and pprof under /debug/pprof/ (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,6 +69,17 @@ func run(args []string) error {
 	trainer, err := buildTrainer(*role, spec, train, newModel, rng, *shard, *of, *beta, *lr, *samples)
 	if err != nil {
 		return err
+	}
+	if *opsAddr != "" {
+		reg := telemetry.NewRegistry()
+		ct := newCountingTrainer(trainer, reg, *role)
+		trainer = ct
+		bound, shutdown, err := telemetry.ServeOps(*opsAddr, telemetry.NewOpsMux(reg))
+		if err != nil {
+			return err
+		}
+		defer func() { _ = shutdown() }()
+		fmt.Printf("flclient: ops endpoint at http://%s/metrics\n", bound)
 	}
 
 	client, err := flnet.DialFederation(*addr, *federation, trainer, *timeout, codecSpec)
@@ -102,6 +115,46 @@ func run(args []string) error {
 	}
 	fmt.Printf("flclient: training finished, received final model with %d weights\n", len(final))
 	return nil
+}
+
+// countingTrainer wraps a Trainer with the client-side instruments served
+// on -ops-addr: rounds trained, failures, local training time, and update
+// coordinates produced. Pure observation — the wrapped trainer's outputs
+// pass through untouched.
+type countingTrainer struct {
+	inner  flnet.Trainer
+	rounds *telemetry.Counter
+	fails  *telemetry.Counter
+	dur    *telemetry.Histogram
+	coords *telemetry.Counter
+}
+
+func newCountingTrainer(inner flnet.Trainer, reg *telemetry.Registry, role string) *countingTrainer {
+	labels := []telemetry.Label{{Key: "role", Value: role}}
+	return &countingTrainer{
+		inner: inner,
+		rounds: reg.Counter("flclient_rounds_total",
+			"Rounds this client trained successfully.", labels...),
+		fails: reg.Counter("flclient_train_failures_total",
+			"Local training attempts that returned an error.", labels...),
+		dur: reg.Histogram("flclient_train_seconds",
+			"Wall-clock duration of one local training call.", labels...),
+		coords: reg.Counter("flclient_update_coords_total",
+			"Update coordinates produced across all rounds.", labels...),
+	}
+}
+
+func (t *countingTrainer) Train(round int, global, prevGlobal []float64) ([]float64, int, error) {
+	start := telemetry.Nanos()
+	weights, n, err := t.inner.Train(round, global, prevGlobal)
+	t.dur.ObserveNanos(telemetry.Nanos() - start)
+	if err != nil {
+		t.fails.Inc()
+		return weights, n, err
+	}
+	t.rounds.Inc()
+	t.coords.Add(int64(len(weights)))
+	return weights, n, err
 }
 
 func buildTrainer(role string, spec dataset.Spec, train *dataset.Dataset,

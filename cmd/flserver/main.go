@@ -15,6 +15,14 @@
 //
 //	flserver -addr :7070 -federations alpha=mkrum,beta=refd -clients 4
 //	flclient -addr localhost:7070 -federation alpha -role benign -shard 0 -of 4
+//
+// Observability: -ops-addr (alias -forensics-addr) serves the unified ops
+// endpoint — Prometheus metrics at /metrics with per-federation labels,
+// pprof under /debug/pprof/, and the defense-decision audit JSON under
+// /forensics/ (single-tenant) or /forensics/<id>/ (multi-tenant):
+//
+//	flserver -addr :7070 -federations alpha,beta -ops-addr :9090
+//	curl localhost:9090/metrics                  # flnet_joins_total{federation="alpha"} …
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"math"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -38,6 +47,8 @@ import (
 	"repro/internal/flnet"
 	"repro/internal/forensics"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -72,7 +83,9 @@ func run(args []string) error {
 	serverMomentum := fs.Float64("server-momentum", 0, "FedAvgM velocity decay (0 = 0.9)")
 	asyncBuffer := fs.Int("async-buffer", 0, "FedBuff-style async aggregation buffer size B (0 = synchronous)")
 	asyncDelay := fs.Int("async-delay", 0, "max simulated update arrival delay in rounds for async mode (0 = 2)")
-	forensicsAddr := fs.String("forensics-addr", "", "serve live defense-decision audit metrics over HTTP at this address, e.g. :8790 (empty = off)")
+	var opsAddr string
+	fs.StringVar(&opsAddr, "ops-addr", "", "serve the unified ops endpoint over HTTP at this address, e.g. :9090: Prometheus metrics at /metrics (per-federation labels when multi-tenant), pprof under /debug/pprof/, forensics JSON under /forensics/ — or /forensics/<id>/ with -federations (empty = off)")
+	fs.StringVar(&opsAddr, "forensics-addr", "", "alias for -ops-addr: the forensics endpoint is unified with the ops plane; the decision-audit JSON lives under /forensics/ and /metrics is Prometheus text")
 	auditPath := fs.String("audit", "", "JSONL audit-journal path for per-round defense decisions and update fingerprints (empty = off)")
 	codecToken := fs.String("codec", "", "update codec served to clients, as a codec spec token: raw, fp16, int8, optionally with ,topk=<frac> and ,ef — e.g. int8,topk=0.1,ef (empty = legacy dense updates only; legacy clients are always served)")
 	federations := fs.String("federations", "", "serve several federations over one listener, as comma-separated id or id=defense entries, e.g. alpha=mkrum,beta=refd (empty = single-tenant; entries without =defense use -defense)")
@@ -147,7 +160,7 @@ func run(args []string) error {
 	}
 
 	if *federations != "" {
-		return runHost(*federations, cfg, buildAgg, *defName, *auditPath, *forensicsAddr, *addr, newModel, test)
+		return runHost(*federations, cfg, buildAgg, *defName, *auditPath, opsAddr, *addr, newModel, test)
 	}
 
 	agg, err := buildAgg(*defName)
@@ -155,11 +168,20 @@ func run(args []string) error {
 		return err
 	}
 
+	// The ops endpoint and the forensics JSON share one mux: Prometheus
+	// owns /metrics, the decision-audit analytics live under /forensics/.
+	var reg *telemetry.Registry
+	if opsAddr != "" {
+		reg = telemetry.NewRegistry()
+		telemetry.RegisterPoolGauges(reg, tensor.Workers, tensor.InUse)
+		cfg.Metrics = reg
+	}
+
 	// The networked server has no ground-truth Malicious flags, so the
 	// collector provides decision auditing (who was filtered, with what
 	// score and fingerprint) rather than TPR/FPR joins.
 	var col *forensics.Collector
-	if *forensicsAddr != "" || *auditPath != "" {
+	if opsAddr != "" || *auditPath != "" {
 		var err error
 		col, err = forensics.NewCollector(forensics.Options{
 			Defense:   agg.Name(),
@@ -170,15 +192,20 @@ func run(args []string) error {
 			return err
 		}
 		defer col.Close() // idempotent; the success path closes and checks below
-		if *forensicsAddr != "" {
-			bound, shutdown, err := col.Serve(*forensicsAddr)
-			if err != nil {
-				return err
-			}
-			defer func() { _ = shutdown() }()
-			fmt.Printf("flserver: forensics metrics at http://%s/metrics\n", bound)
-		}
 		cfg.Observer = col
+	}
+	if opsAddr != "" {
+		mux := telemetry.NewOpsMux(reg)
+		if col != nil {
+			col.Mount(mux, "/forensics")
+			mux.Handle("/rounds", http.RedirectHandler("/forensics/rounds", http.StatusPermanentRedirect))
+		}
+		bound, shutdown, err := telemetry.ServeOps(opsAddr, mux)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = shutdown() }()
+		fmt.Printf("flserver: ops endpoint at http://%s/metrics (forensics JSON under /forensics/)\n", bound)
 	}
 
 	srv, err := flnet.NewServer(cfg, agg, newModel, test)
@@ -216,14 +243,19 @@ func run(args []string) error {
 // runHost serves several federations over one listener. Each entry of the
 // -federations list becomes an independent Federation: its own defense,
 // round state, checkpoint file (suffix "-<id>") and audit journal (same
-// suffix). -forensics-addr is single-tenant only: one HTTP endpoint cannot
-// represent several federations' metrics without ambiguity.
+// suffix). With -ops-addr, one shared registry carries every federation's
+// instruments under federation="<id>" labels on a single /metrics endpoint,
+// and each tenant's forensics JSON mounts under /forensics/<id>/.
 func runHost(list string, base flnet.ServerConfig, buildAgg func(string) (fl.Aggregator, error),
-	defaultDefense, auditPath, forensicsAddr, addr string,
+	defaultDefense, auditPath, opsAddr, addr string,
 	newModel func(rng *rand.Rand) *nn.Network, test *dataset.Dataset) error {
 
-	if forensicsAddr != "" {
-		return fmt.Errorf("-forensics-addr is not supported with -federations; use per-federation -audit journals")
+	var reg *telemetry.Registry
+	var mux *http.ServeMux
+	if opsAddr != "" {
+		reg = telemetry.NewRegistry()
+		telemetry.RegisterPoolGauges(reg, tensor.Workers, tensor.InUse)
+		mux = telemetry.NewOpsMux(reg)
 	}
 	type tenant struct {
 		fed *flnet.Federation
@@ -259,18 +291,26 @@ func runHost(list string, base flnet.ServerConfig, buildAgg func(string) (fl.Agg
 		if cfg.CheckpointPath != "" {
 			cfg.CheckpointPath += "-" + id
 		}
+		cfg.Metrics = reg
 		var col *forensics.Collector
-		if auditPath != "" {
+		if auditPath != "" || opsAddr != "" {
+			perFedAudit := ""
+			if auditPath != "" {
+				perFedAudit = auditPath + "-" + id
+			}
 			col, err = forensics.NewCollector(forensics.Options{
 				Defense:   agg.Name(),
 				Seed:      cfg.Seed,
-				AuditPath: auditPath + "-" + id,
+				AuditPath: perFedAudit,
 			})
 			if err != nil {
 				return fmt.Errorf("federation %q: %w", id, err)
 			}
 			defer col.Close()
 			cfg.Observer = col
+			if mux != nil {
+				col.Mount(mux, "/forensics/"+id)
+			}
 		}
 		fed, err := flnet.NewFederation(id, cfg, agg, newModel, test)
 		if err != nil {
@@ -284,6 +324,14 @@ func runHost(list string, base flnet.ServerConfig, buildAgg func(string) (fl.Agg
 	}
 	if len(tenants) == 0 {
 		return fmt.Errorf("-federations lists no federations")
+	}
+	if mux != nil {
+		bound, shutdown, err := telemetry.ServeOps(opsAddr, mux)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = shutdown() }()
+		fmt.Printf("flserver: ops endpoint at http://%s/metrics (per-federation forensics JSON under /forensics/<id>/)\n", bound)
 	}
 
 	lis, err := net.Listen("tcp", addr)

@@ -12,6 +12,7 @@
 //	      -placement scatter -frac 0.001 -groups 10   # production-scale lazy population
 //	flsim -defense refd -forensics -forensics-addr :8790 -audit audit.jsonl
 //	                                               # audit every defense decision, live metrics over HTTP
+//	flsim -trace trace.json -ops-addr :9090        # per-phase Chrome trace + Prometheus/pprof ops endpoint
 package main
 
 import (
@@ -72,6 +73,9 @@ func run(args []string) error {
 	fs.StringVar(&cfg.ForensicsAddr, "forensics-addr", "", "serve live detection metrics over HTTP at this address for the run's duration, e.g. :8790 (implies -forensics)")
 	fs.IntVar(&cfg.ForensicsRing, "forensics-ring", 0, "in-memory round-audit ring size for the HTTP endpoint (0 = 64)")
 	fs.IntVar(&cfg.ForensicsReservoir, "forensics-reservoir", 0, "score-pair reservoir bound for cumulative AUC/TPR@FPR (0 = 4096); memory only, metrics stay deterministic")
+	fs.StringVar(&cfg.TracePath, "trace", "", "write the run's per-round/per-phase spans as a Chrome trace-event JSON file, loadable in Perfetto or chrome://tracing (implies telemetry; never changes results)")
+	fs.StringVar(&cfg.TraceJournal, "trace-journal", "", "append the run's spans to a JSONL trace journal at this path (implies telemetry)")
+	fs.StringVar(&cfg.OpsAddr, "ops-addr", "", "serve the ops endpoint over HTTP at this address for the run's duration, e.g. :9090: Prometheus metrics at /metrics, pprof under /debug/pprof/, forensics JSON under /forensics/ when enabled (implies telemetry)")
 	storePath := fs.String("store", "", "JSONL run-store path; the completed run is journaled for resume (empty = off)")
 	resume := fs.Bool("resume", false, "replay the run from -store if already journaled instead of recomputing it")
 	threads := fs.Int("threads", 0, "kernel worker-pool size for training/defense compute (0 = GOMAXPROCS); never changes results")

@@ -35,8 +35,10 @@ const (
 	flagEF     = 1 << 1
 )
 
-// EncodeWire serializes the frame.
-func EncodeWire(f *Frame) []byte {
+// WireSize returns the exact number of bytes EncodeWire produces for f
+// without serializing it — the byte-accounting primitive for telemetry on
+// simulated wires, where no real frame bytes ever exist.
+func WireSize(f *Frame) int {
 	n := f.quantLen()
 	size := wireHeader + 4*len(f.Idx)
 	switch f.Spec.Quant {
@@ -47,7 +49,12 @@ func EncodeWire(f *Frame) []byte {
 	case Int8:
 		size += 4 + 8*len(f.Scales) + n
 	}
-	out := make([]byte, 0, size)
+	return size
+}
+
+// EncodeWire serializes the frame.
+func EncodeWire(f *Frame) []byte {
+	out := make([]byte, 0, WireSize(f))
 	out = append(out, wireMagic, wireVersion, byte(f.Spec.Quant), 0)
 	if f.Idx != nil {
 		out[3] |= flagSparse

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"repro/internal/codec"
+	"repro/internal/telemetry"
 	"repro/internal/fl"
 	"repro/internal/vec"
 )
@@ -113,7 +114,17 @@ func (t TrimmedMean) Aggregate(_ []float64, updates []fl.Update) ([]float64, fl.
 // Both paths are bit-deterministic at any worker count; compressed-domain
 // distances are over deltas, which pairwise equal weight distances up to
 // FP rounding — the documented codec-on semantics.
+// Timing reports through the process-global telemetry distance hook — the
+// aggregators are pure functions of the updates with no injection seam, and
+// this one routine is the geometry they all share.
 func roundSqDist(updates []fl.Update, vs [][]float64) [][]float64 {
+	sp := telemetry.DistanceSpan()
+	m := sqDistGeometry(updates, vs)
+	sp.End()
+	return m
+}
+
+func sqDistGeometry(updates []fl.Update, vs [][]float64) [][]float64 {
 	frames := make([]*codec.Frame, len(updates))
 	for i := range updates {
 		if updates[i].Frame == nil {

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"net/http"
+	"os"
 
 	"repro/internal/attack"
 	"repro/internal/codec"
@@ -20,6 +22,8 @@ import (
 	"repro/internal/forensics"
 	"repro/internal/nn"
 	"repro/internal/population"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
 )
 
 // Config describes one simulation run. Zero fields are filled with the
@@ -161,6 +165,27 @@ type Config struct {
 	// never serialize — an ephemeral path or socket does not identify a run.
 	AuditPath     string `json:"-"`
 	ForensicsAddr string `json:"-"`
+
+	// The telemetry axes follow the forensics discipline exactly: pure
+	// observation (fixed-seed runs are bit-identical with telemetry on or
+	// off — TestTelemetryOnOffBitIdentical), and none of them serialize, so
+	// a telemetry-on cell resolves to the same stored run as its
+	// telemetry-off twin (TestTelemetryRunKeyInvariant).
+
+	// Telemetry enables the runtime metrics registry and per-phase round
+	// instrumentation (internal/telemetry) for the run.
+	Telemetry bool `json:"-"`
+	// OpsAddr, when non-empty, serves the ops endpoint (/metrics Prometheus
+	// text, /debug/pprof, and /forensics/* when Forensics is on) over HTTP
+	// for the run's duration. Implies Telemetry.
+	OpsAddr string `json:"-"`
+	// TracePath, when non-empty, writes the run's spans as a Chrome
+	// trace-event JSON file (load in Perfetto / chrome://tracing). Implies
+	// Telemetry.
+	TracePath string `json:"-"`
+	// TraceJournal, when non-empty, appends the run's spans to a JSONL
+	// journal via the persist append-only stream. Implies Telemetry.
+	TraceJournal string `json:"-"`
 
 	// The compression axes below follow the same key-stability contract:
 	// defaults canonicalize to zero values and carry omitempty tags, so a
@@ -348,6 +373,9 @@ func (c *Config) Normalize() error {
 	}
 	if !c.Forensics && (c.ForensicsRing != 0 || c.ForensicsReservoir != 0) {
 		return fmt.Errorf("experiment: ForensicsRing/ForensicsReservoir require Forensics")
+	}
+	if c.OpsAddr != "" || c.TracePath != "" || c.TraceJournal != "" {
+		c.Telemetry = true
 	}
 	switch c.Codec {
 	case "", "none":
@@ -680,6 +708,23 @@ func BuildScenario(cfg Config, shards [][]int) fl.Scenario {
 	return sc
 }
 
+// writeChromeTrace exports the tracer's buffered spans as a Chrome
+// trace-event JSON file (loadable in Perfetto / chrome://tracing).
+func writeChromeTrace(tr *telemetry.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiment: trace: %w", err)
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("experiment: trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("experiment: trace: %w", err)
+	}
+	return nil
+}
+
 // Run executes a single configuration without clean-baseline bookkeeping;
 // most callers want Runner.Run, which also fills CleanAcc and ASR.
 func Run(cfg Config) (*Outcome, error) {
@@ -722,6 +767,36 @@ func Run(cfg Config) (*Outcome, error) {
 			defer func() { _ = shutdown() }()
 		}
 	}
+	var engTel *telemetry.EngineTelemetry
+	var tracer *telemetry.Tracer
+	if cfg.Telemetry {
+		// Pure observation: the registry, tracer, and distance hook never
+		// touch the engine's RNG streams or the aggregation order, so the
+		// run stays bit-identical to its telemetry-off twin.
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterPoolGauges(reg, tensor.Workers, tensor.InUse)
+		if cfg.TracePath != "" || cfg.TraceJournal != "" {
+			tracer = telemetry.NewTracer(0)
+		}
+		engTel = telemetry.NewEngineTelemetry(reg, tracer, "")
+		telemetry.SetDistanceHook(reg, tracer)
+		defer telemetry.ClearDistanceHook()
+		if cfg.OpsAddr != "" {
+			mux := telemetry.NewOpsMux(reg)
+			if col != nil {
+				// The ops plane owns /metrics (Prometheus text); the forensics
+				// JSON lives under /forensics/* with the legacy /rounds alias
+				// redirected there.
+				col.Mount(mux, "/forensics")
+				mux.Handle("/rounds", http.RedirectHandler("/forensics/rounds", http.StatusPermanentRedirect))
+			}
+			_, shutdown, err := telemetry.ServeOps(cfg.OpsAddr, mux)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: ops endpoint: %w", err)
+			}
+			defer func() { _ = shutdown() }()
+		}
+	}
 	flCfg := fl.Config{
 		TotalClients: cfg.TotalClients,
 		PerRound:     cfg.PerRound,
@@ -736,6 +811,7 @@ func Run(cfg Config) (*Outcome, error) {
 		Parallel:     cfg.Parallel,
 		Scenario:     BuildScenario(cfg, tk.shards),
 		Codec:        cfg.codecSpec(),
+		Telemetry:    engTel,
 	}
 	if col != nil {
 		flCfg.Observer = col
@@ -763,6 +839,16 @@ func Run(cfg Config) (*Outcome, error) {
 	res, err := sim.Run()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.TracePath != "" {
+		if err := writeChromeTrace(tracer, cfg.TracePath); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.TraceJournal != "" {
+		if err := tracer.WriteJournal(cfg.TraceJournal); err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
 	}
 	out := &Outcome{
 		Config:   cfg,

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/fl"
+	"repro/internal/telemetry"
 )
 
 // Runner executes configurations and caches the clean "no attack, no
@@ -46,6 +47,11 @@ type Runner struct {
 	// epoch of leases it holds; it must be comfortably shorter than
 	// LeasePoll*LeaseExpirePolls or healthy workers get robbed. Zero means 1s.
 	LeaseRenewEvery time.Duration
+	// Telemetry, when non-nil, instruments this worker's sweep: executed
+	// cells (count, duration spans), lease claims/conflicts/reclaims, and
+	// adopted cells. It also feeds the fleet fields of ProgressEvent. Pure
+	// observation — scheduling and results are unaffected.
+	Telemetry *telemetry.SweepTelemetry
 	// runFn executes a single raw configuration; tests substitute it to
 	// observe scheduling without paying for real training.
 	runFn func(Config) (*Outcome, error)
@@ -85,6 +91,14 @@ type ProgressEvent struct {
 	// times the true finish time. Zero when no cell has completed yet or the
 	// grid is done.
 	ETA time.Duration
+	// WorkerCells, CellsPerMin and LeaseConflicts describe this worker's
+	// own fleet contribution, read from the Runner's SweepTelemetry: cells
+	// it executed (not adopted or replayed), its execution throughput over
+	// the sweep so far, and claim attempts lost to live foreign leases. All
+	// zero when Runner.Telemetry is nil.
+	WorkerCells    int64
+	CellsPerMin    float64
+	LeaseConflicts int64
 }
 
 // NewRunner returns a Runner with an empty baseline cache.
@@ -116,6 +130,11 @@ func (r *Runner) CleanAccuracy(cfg Config) (float64, error) {
 	clean.ForensicsRing = 0
 	clean.ForensicsReservoir = 0
 	clean.AuditPath, clean.ForensicsAddr = "", ""
+	// Telemetry follows the same rule: the baseline is a shared background
+	// computation, and a cell's OpsAddr or trace path must not be
+	// double-bound by the clean run it happens to trigger.
+	clean.Telemetry = false
+	clean.OpsAddr, clean.TracePath, clean.TraceJournal = "", "", ""
 	key := clean.cleanKey()
 
 	r.mu.Lock()
@@ -206,6 +225,10 @@ func (r *Runner) Run(cfg Config) (*Outcome, error) {
 			c.Forensics = false
 			c.ForensicsRing, c.ForensicsReservoir = 0, 0
 			c.AuditPath, c.ForensicsAddr = "", ""
+			// Telemetry likewise: the ops listener and trace files are
+			// single-bind resources owned by the first seed's run.
+			c.Telemetry = false
+			c.OpsAddr, c.TracePath, c.TraceJournal = "", "", ""
 		}
 		out, err := r.runOne(c)
 		if err != nil {
@@ -253,10 +276,12 @@ func (r *Runner) runOne(cfg Config) (*Outcome, error) {
 	return out, nil
 }
 
-// progressTracker serializes ProgressEvent delivery and derives the ETA.
+// progressTracker serializes ProgressEvent delivery and derives the ETA and
+// the worker's fleet stats.
 type progressTracker struct {
 	mu       sync.Mutex
 	cb       func(ProgressEvent)
+	tel      *telemetry.SweepTelemetry
 	total    int
 	done     int
 	executed int
@@ -264,11 +289,11 @@ type progressTracker struct {
 	start    time.Time
 }
 
-func newProgressTracker(cb func(ProgressEvent), total int) *progressTracker {
+func newProgressTracker(cb func(ProgressEvent), total int, tel *telemetry.SweepTelemetry) *progressTracker {
 	if cb == nil {
 		return nil
 	}
-	return &progressTracker{cb: cb, total: total, start: time.Now()}
+	return &progressTracker{cb: cb, tel: tel, total: total, start: time.Now()}
 }
 
 func (p *progressTracker) report(cfg Config, out *Outcome, err error, skipped, remote bool) {
@@ -295,7 +320,7 @@ func (p *progressTracker) report(cfg Config, out *Outcome, err error, skipped, r
 		perCell := float64(elapsed) / float64(p.executed+p.remote)
 		eta = time.Duration(perCell * float64(remaining))
 	}
-	p.cb(ProgressEvent{
+	ev := ProgressEvent{
 		Done:    p.done,
 		Total:   p.total,
 		Config:  cfg,
@@ -305,7 +330,20 @@ func (p *progressTracker) report(cfg Config, out *Outcome, err error, skipped, r
 		Err:     err,
 		Elapsed: elapsed,
 		ETA:     eta,
-	})
+	}
+	if p.tel != nil {
+		ev.WorkerCells = p.tel.Cells()
+		ev.LeaseConflicts = p.tel.Conflicts()
+		if mins := elapsed.Minutes(); mins > 0 {
+			ev.CellsPerMin = float64(ev.WorkerCells) / mins
+		}
+	}
+	p.cb(ev)
+}
+
+// cellName labels one grid cell's execution span on the sweep trace row.
+func cellName(c Config) string {
+	return c.Dataset + "/" + c.Attack + "/" + c.Defense
 }
 
 // RunGrid executes the configurations concurrently (bounded by workers;
@@ -379,7 +417,7 @@ func (r *Runner) RunGrid(cfgs []Config, workers int) ([]*Outcome, error) {
 	if workers > len(pending) {
 		workers = len(pending)
 	}
-	prog := newProgressTracker(r.Progress, len(cfgs))
+	prog := newProgressTracker(r.Progress, len(cfgs), r.Telemetry)
 	for i := range cfgs {
 		if outcomes[i] != nil {
 			prog.report(outcomes[i].Config, outcomes[i], nil, true, false)
@@ -393,7 +431,9 @@ func (r *Runner) RunGrid(cfgs []Config, workers int) ([]*Outcome, error) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
+				sp := r.Telemetry.Cell(cellName(cfgs[i]))
 				out, err := r.Run(cfgs[i])
+				sp.End()
 				if err == nil && r.Store != nil {
 					if rerr := r.Store.Record(keys[i], out); rerr != nil {
 						err = fmt.Errorf("store: %w", rerr)

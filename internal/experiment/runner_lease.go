@@ -109,8 +109,10 @@ func (r *Runner) computeBaselineLeased(ls LeaseStore, key string, clean Config) 
 		} else if ok {
 			return out.MaxAcc, nil
 		}
-		lease, err := ls.TryClaim(key, obs.stealEpoch(r.leaseExpirePolls()))
+		steal := obs.stealEpoch(r.leaseExpirePolls())
+		lease, err := ls.TryClaim(key, steal)
 		if err == nil {
+			r.Telemetry.Claim(steal > 0)
 			// The claim transaction replayed the journal tail, so the local
 			// view is now current: if the previous holder recorded the result
 			// and released between our lookup and our claim, adopt it instead
@@ -143,6 +145,7 @@ func (r *Runner) computeBaselineLeased(ls LeaseStore, key string, clean Config) 
 		if !errors.Is(err, persist.ErrLeaseHeld) {
 			return 0, fmt.Errorf("experiment: clean baseline lease: %w", err)
 		}
+		r.Telemetry.Conflict()
 		obs.observe(lease, r.leasePoll())
 		time.Sleep(r.leasePoll())
 	}
@@ -185,6 +188,7 @@ func (s *leaseScheduler) next(prog *progressTracker, outcomes []*Outcome) (int, 
 			}
 			if ok {
 				outcomes[i] = out
+				s.r.Telemetry.Adopt()
 				prog.report(out.Config, out, nil, false, true)
 				continue
 			}
@@ -199,7 +203,8 @@ func (s *leaseScheduler) next(prog *progressTracker, outcomes []*Outcome) (int, 
 				ob = &leaseObserver{}
 				s.obs[s.keys[i]] = ob
 			}
-			lease, err := s.ls.TryClaim(s.keys[i], ob.stealEpoch(s.r.leaseExpirePolls()))
+			steal := ob.stealEpoch(s.r.leaseExpirePolls())
+			lease, err := s.ls.TryClaim(s.keys[i], steal)
 			if err == nil {
 				// The claim replayed the tail; if the result landed between
 				// our scan and our claim, adopt it rather than recompute.
@@ -210,11 +215,13 @@ func (s *leaseScheduler) next(prog *progressTracker, outcomes []*Outcome) (int, 
 				} else if ok {
 					_ = s.ls.Release(s.keys[i])
 					outcomes[i] = out
+					s.r.Telemetry.Adopt()
 					prog.report(out.Config, out, nil, false, true)
 					s.pending = append(s.pending[:n], s.pending[n+1:]...)
 					adopted = true
 					break // pending mutated; rescan from the top
 				}
+				s.r.Telemetry.Claim(steal > 0)
 				s.pending = append(s.pending[:n], s.pending[n+1:]...)
 				return i, true
 			}
@@ -222,6 +229,7 @@ func (s *leaseScheduler) next(prog *progressTracker, outcomes []*Outcome) (int, 
 				s.err = fmt.Errorf("experiment: lease claim: %w", err)
 				return 0, false
 			}
+			s.r.Telemetry.Conflict()
 			ob.observe(lease, s.r.leasePoll())
 		}
 		if len(s.pending) == 0 {
@@ -260,7 +268,7 @@ func (r *Runner) runGridLeased(ls LeaseStore, cfgs []Config, keys []string, work
 		}
 		pending = append(pending, i)
 	}
-	prog := newProgressTracker(r.Progress, len(cfgs))
+	prog := newProgressTracker(r.Progress, len(cfgs), r.Telemetry)
 	for i := range cfgs {
 		if outcomes[i] != nil {
 			prog.report(outcomes[i].Config, outcomes[i], nil, true, false)
@@ -282,7 +290,9 @@ func (r *Runner) runGridLeased(ls LeaseStore, cfgs []Config, keys []string, work
 					return
 				}
 				stop := r.renewLoop(ls, keys[i])
+				sp := r.Telemetry.Cell(cellName(cfgs[i]))
 				out, err := r.Run(cfgs[i])
+				sp.End()
 				if err == nil {
 					if rerr := ls.Record(keys[i], out); rerr != nil {
 						err = fmt.Errorf("store: %w", rerr)

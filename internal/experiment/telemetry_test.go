@@ -1,0 +1,175 @@
+package experiment
+
+// Telemetry wiring tests: the observation-only contract at the experiment
+// layer (identical run-store keys and bit-identical outcomes with telemetry
+// on or off), the config implications, the trace-export plumbing, and the
+// fleet instrumentation of the sweep runner.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestTelemetryRunKeyInvariant pins the store contract: telemetry is pure
+// observation, so a telemetry-on cell must hash to the same run key as its
+// telemetry-off twin — and the legacy config JSON must not leak the new
+// fields.
+func TestTelemetryRunKeyInvariant(t *testing.T) {
+	off := tinyCfg("lie", "mkrum")
+	on := tinyCfg("lie", "mkrum")
+	on.Telemetry = true
+	on.OpsAddr = "127.0.0.1:0"
+	on.TracePath = "/tmp/never-touched.json"
+	on.TraceJournal = "/tmp/never-touched.jsonl"
+	kOff, err := runKey(off, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kOn, err := runKey(on, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kOff != kOn {
+		t.Fatalf("telemetry changed the run key: %s vs %s", kOff, kOn)
+	}
+
+	legacy := tinyCfg("lie", "mkrum")
+	if err := legacy.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"Telemetry", "OpsAddr", "TracePath", "TraceJournal"} {
+		if strings.Contains(string(raw), field) {
+			t.Errorf("legacy config JSON leaks telemetry field %s: %s", field, raw)
+		}
+	}
+}
+
+func TestTelemetryConfigImplication(t *testing.T) {
+	for _, set := range []func(*Config){
+		func(c *Config) { c.OpsAddr = "127.0.0.1:0" },
+		func(c *Config) { c.TracePath = "x.json" },
+		func(c *Config) { c.TraceJournal = "x.jsonl" },
+	} {
+		cfg := tinyCfg("lie", "mkrum")
+		set(&cfg)
+		if err := cfg.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		if !cfg.Telemetry {
+			t.Fatal("OpsAddr/TracePath/TraceJournal should imply Telemetry")
+		}
+	}
+}
+
+// TestTelemetryRunWiring is the end-to-end check on the single-run path:
+// full telemetry (registry, ops endpoint with forensics mounted, Chrome
+// trace, span journal) leaves the outcome bit-identical to the plain run,
+// and both trace exports land on disk well-formed.
+func TestTelemetryRunWiring(t *testing.T) {
+	plain, err := Run(tinyCfg("lie", "mkrum"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	cfg := tinyCfg("lie", "mkrum")
+	cfg.Forensics = true
+	cfg.OpsAddr = "127.0.0.1:0"
+	cfg.TracePath = filepath.Join(dir, "trace.json")
+	cfg.TraceJournal = filepath.Join(dir, "spans.jsonl")
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MaxAcc != plain.MaxAcc || out.FinalAcc != plain.FinalAcc || out.DPR != plain.DPR {
+		t.Fatalf("telemetry changed results: acc %v/%v vs %v/%v, DPR %v vs %v",
+			out.MaxAcc, out.FinalAcc, plain.MaxAcc, plain.FinalAcc, out.DPR, plain.DPR)
+	}
+	for i := range out.Trace {
+		if out.Trace[i] != plain.Trace[i] {
+			t.Fatalf("round %d trace differs: %+v vs %+v", i, out.Trace[i], plain.Trace[i])
+		}
+	}
+
+	// The Chrome trace must be a JSON array containing the round and phase
+	// spans of a 3-round run.
+	raw, err := os.ReadFile(cfg.TracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace file is not a JSON array: %v", err)
+	}
+	names := make(map[string]int)
+	for _, ev := range events {
+		if n, ok := ev["name"].(string); ok {
+			names[n]++
+		}
+	}
+	for _, want := range []string{"round", "select", "aggregate", "eval"} {
+		if names[want] == 0 {
+			t.Errorf("trace has no %q spans (saw %v)", want, names)
+		}
+	}
+	if names["round"] != cfg.Rounds {
+		t.Errorf("trace has %d round spans, want %d", names["round"], cfg.Rounds)
+	}
+
+	// The span journal must be line-delimited JSON with one record per span.
+	journal, err := os.ReadFile(cfg.TraceJournal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(journal)), "\n")
+	if len(lines) == 0 {
+		t.Fatal("span journal is empty")
+	}
+	if !strings.Contains(string(journal), `"aggregate"`) {
+		t.Error("span journal carries no aggregate span")
+	}
+}
+
+// TestRunGridFleetTelemetry pins the sweep instrumentation: a grid drained
+// with a SweepTelemetry attached reports per-worker throughput through
+// ProgressEvent and counts every executed cell on the registry.
+func TestRunGridFleetTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r := NewRunner()
+	r.Telemetry = telemetry.NewSweepTelemetry(reg, nil, "w0")
+	r.runFn = func(cfg Config) (*Outcome, error) {
+		return &Outcome{Config: cfg, MaxAcc: 0.5}, nil
+	}
+	var last ProgressEvent
+	r.Progress = func(ev ProgressEvent) { last = ev }
+
+	cfgs := []Config{tinyCfg("none", "fedavg"), tinyCfg("lie", "mkrum"), tinyCfg("lie", "trmean")}
+	if _, err := r.RunGrid(cfgs, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Telemetry.Cells(); got != int64(len(cfgs)) {
+		t.Fatalf("sweep telemetry counted %d cells, want %d", got, len(cfgs))
+	}
+	if last.WorkerCells != int64(len(cfgs)) {
+		t.Fatalf("final ProgressEvent reports %d worker cells, want %d", last.WorkerCells, len(cfgs))
+	}
+	if last.CellsPerMin <= 0 {
+		t.Fatalf("final ProgressEvent reports throughput %v, want > 0", last.CellsPerMin)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `sweep_cells_total{worker="w0"} 3`) {
+		t.Fatalf("registry missing executed-cell count:\n%s", b.String())
+	}
+}

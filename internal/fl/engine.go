@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 )
 
 // Transport abstracts how the engine obtains updates from a set of clients:
@@ -112,6 +113,13 @@ type Engine struct {
 	// results — the graceful-drain hook. A drained run is indistinguishable
 	// from one configured with fewer rounds: no round is ever cut mid-flight.
 	Halt func() bool
+
+	// Telemetry, when non-nil, receives per-round and per-phase spans and
+	// the codec byte counts. Pure observation: it never touches the RNG
+	// streams, the update set or the summation order, so a fixed-seed run is
+	// bit-identical with telemetry enabled or nil (see
+	// TestTelemetryOnOffBitIdentical), and the nil path costs nothing.
+	Telemetry *telemetry.EngineTelemetry
 }
 
 // pendingUpdate is one in-flight update in async mode.
@@ -211,6 +219,11 @@ func (e *Engine) Run(initial []float64) (*Result, []float64, error) {
 		if e.Halt != nil && e.Halt() {
 			break
 		}
+		// Spans use explicit End calls (not defer) so the telemetry-nil path
+		// stays allocation-free; error returns may drop an open span, which
+		// is fine — the run is over.
+		roundSpan := e.Telemetry.Round()
+		spSelect := e.Telemetry.Phase(telemetry.PhaseSelect)
 		selected := sampler.Sample(selRng, round, e.TotalClients)
 		stats := RoundStats{
 			Round:           round,
@@ -244,13 +257,18 @@ func (e *Engine) Run(initial []float64) (*Result, []float64, error) {
 			benignIDs = responders
 		}
 		stats.SelectedMalicious = len(attackerIDs)
+		spSelect.End()
 
+		spCollect := e.Telemetry.Phase(telemetry.PhaseCollect)
+		e.Telemetry.AddBytesOut(8 * len(global) * len(benignIDs))
 		updates, err := e.Transport.Collect(round, benignIDs, global, prev)
+		spCollect.End()
 		if err != nil {
 			return nil, nil, fmt.Errorf("round %d: %w", round, err)
 		}
 
 		if len(attackerIDs) > 0 && e.Attack != nil {
+			spAttack := e.Telemetry.Phase(telemetry.PhaseAttack)
 			benignVecs := make([][]float64, len(updates))
 			for i, u := range updates {
 				benignVecs[i] = u.Weights
@@ -268,6 +286,7 @@ func (e *Engine) Run(initial []float64) (*Result, []float64, error) {
 				Rng:            atkRng,
 			}
 			malVecs, err := e.Attack.Craft(ctx)
+			spAttack.End()
 			if err != nil {
 				return nil, nil, fmt.Errorf("round %d: attack %s: %w", round, e.Attack.Name(), err)
 			}
@@ -292,6 +311,7 @@ func (e *Engine) Run(initial []float64) (*Result, []float64, error) {
 		// socket run would decode. Updates that already carry a frame
 		// (flnet decoded them off the wire) pass through untouched.
 		if enc != nil {
+			spEncode := e.Telemetry.Phase(telemetry.PhaseEncode)
 			for i := range updates {
 				if updates[i].Frame != nil {
 					continue
@@ -299,7 +319,21 @@ func (e *Engine) Run(initial []float64) (*Result, []float64, error) {
 				f := enc.Encode(updates[i].ClientID, round, global, updates[i].Weights)
 				updates[i].Frame = f
 				updates[i].Weights = f.Reconstruct(global)
+				e.Telemetry.AddBytesIn(codec.WireSize(f))
 			}
+			spEncode.End()
+		}
+		if e.Telemetry != nil {
+			// Frames entering aggregation this round, whether encoded here or
+			// decoded off the wire by the flnet transport (which accounts the
+			// real wire bytes itself — byte ownership never overlaps).
+			frames := 0
+			for i := range updates {
+				if updates[i].Frame != nil {
+					frames++
+				}
+			}
+			e.Telemetry.AddFrames(frames)
 		}
 		res.MaliciousSubmitted += len(attackerIDs)
 		stats.Responded = len(updates)
@@ -367,7 +401,9 @@ func (e *Engine) Run(initial []float64) (*Result, []float64, error) {
 		}
 
 		if e.Evaluate != nil && ((round+1)%evalEvery == 0 || round == e.Rounds-1) {
+			spEval := e.Telemetry.Phase(telemetry.PhaseEval)
 			acc, err := e.Evaluate(global)
+			spEval.End()
 			if err != nil {
 				return nil, nil, err
 			}
@@ -379,10 +415,14 @@ func (e *Engine) Run(initial []float64) (*Result, []float64, error) {
 		}
 		res.Rounds = append(res.Rounds, stats)
 		if e.OnRound != nil {
-			if err := e.OnRound(stats, global, prev, res.MaxAccuracy); err != nil {
+			spCkpt := e.Telemetry.Phase(telemetry.PhaseCheckpoint)
+			err := e.OnRound(stats, global, prev, res.MaxAccuracy)
+			spCkpt.End()
+			if err != nil {
 				return nil, nil, err
 			}
 		}
+		roundSpan.End()
 	}
 	return res, global, nil
 }
@@ -391,7 +431,9 @@ func (e *Engine) Run(initial []float64) (*Result, []float64, error) {
 // accounting for selection-reporting defenses, the audit observer and the
 // server optimizer.
 func (e *Engine) applyAggregation(round int, updates []Update, global, prev *[]float64, opt ServerOptimizer, stats *RoundStats, res *Result) error {
+	spAgg := e.Telemetry.Phase(telemetry.PhaseAggregate)
 	newGlobal, sel, err := e.Aggregator.Aggregate(*global, updates)
+	spAgg.End()
 	if err != nil {
 		return fmt.Errorf("round %d: defense %s: %w", round, e.Aggregator.Name(), err)
 	}
@@ -418,7 +460,9 @@ func (e *Engine) applyAggregation(round int, updates []Update, global, prev *[]f
 	if e.Observer != nil {
 		e.Observer.ObserveAggregation(round, *global, updates, sel)
 	}
+	spOpt := e.Telemetry.Phase(telemetry.PhaseServerOpt)
 	next := opt.Apply(*global, newGlobal)
+	spOpt.End()
 	if len(next) != len(*global) {
 		return fmt.Errorf("round %d: server optimizer %s returned %d weights, want %d", round, opt.Name(), len(next), len(*global))
 	}

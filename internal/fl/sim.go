@@ -9,6 +9,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/dataset"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -48,6 +49,10 @@ type Config struct {
 	// aggregation (see Engine.Codec). The zero value reproduces the
 	// uncompressed path bit-exactly.
 	Codec codec.Spec
+	// Telemetry, when non-nil, receives per-round/per-phase spans and codec
+	// byte counts (see Engine.Telemetry). Pure observation: a fixed-seed
+	// run is bit-identical with it enabled or nil.
+	Telemetry *telemetry.EngineTelemetry
 }
 
 // Validate reports configuration errors.
@@ -206,6 +211,7 @@ func (s *Simulation) Run() (*Result, error) {
 		NewModel:     s.newModel,
 		Observer:     s.cfg.Observer,
 		Codec:        s.cfg.Codec,
+		Telemetry:    s.cfg.Telemetry,
 		// Attackers report a plausible sample count (the mean benign shard
 		// size) so weighted aggregation cannot trivially expose them.
 		AttackSamples: s.meanShardSize(),

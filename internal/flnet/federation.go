@@ -16,6 +16,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/nn"
 	"repro/internal/persist"
+	"repro/internal/telemetry"
 )
 
 // Federation owns the per-tenant round state of one federated training run:
@@ -46,12 +47,17 @@ type Federation struct {
 	pending chan pendingJoin
 	// draining requests a graceful stop at the next round boundary.
 	draining atomic.Bool
+	// tel carries the federation's optional instruments (nil = disabled).
+	tel *fedTelemetry
 }
 
 // pendingJoin is one handshake awaiting admission.
 type pendingJoin struct {
 	conn  *Conn
 	hello *Envelope
+	// enqueuedNs timestamps the queue entry for the wait histogram
+	// (monotonic, telemetry.Nanos; 0 when telemetry is disabled).
+	enqueuedNs int64
 }
 
 // NewFederation builds a federation with the given identity, configuration,
@@ -79,6 +85,7 @@ func NewFederation(id string, cfg ServerConfig, agg fl.Aggregator, newModel func
 		test:     test,
 		filled:   make(chan struct{}),
 		pending:  make(chan pendingJoin, queue),
+		tel:      newFedTelemetry(cfg, id),
 	}
 	if test != nil {
 		f.eval = fl.NewEvaluator(test, cfg.EvalLimit)
@@ -93,7 +100,11 @@ func (f *Federation) ID() string { return f.id }
 // keeps every completed result, and hands members the final model exactly as
 // a naturally finished run would. Safe to call from any goroutine, more than
 // once, and before or during Run.
-func (f *Federation) Drain() { f.draining.Store(true) }
+func (f *Federation) Drain() {
+	if !f.draining.Swap(true) {
+		f.tel.drained()
+	}
+}
 
 // reject sends a typed join rejection and closes the connection.
 func reject(conn *Conn, code, reason string) {
@@ -106,6 +117,14 @@ func reject(conn *Conn, code, reason string) {
 // sends JoinAck or a typed JoinReject itself and reports whether the
 // connection became a member.
 func (f *Federation) admit(conn *Conn, hello *Envelope) bool {
+	sp := f.tel.handshake()
+	ok := f.doAdmit(conn, hello)
+	sp.End()
+	f.tel.admitted(ok)
+	return ok
+}
+
+func (f *Federation) doAdmit(conn *Conn, hello *Envelope) bool {
 	// A named join must match; an empty one is the legacy protocol and
 	// always targets this federation (the host routed it here).
 	if hello.Federation != "" && hello.Federation != f.id {
@@ -169,9 +188,12 @@ func (f *Federation) Offer(conn *Conn, hello *Envelope) {
 		reject(conn, RejectClosed, fmt.Sprintf("federation %q is not admitting members", f.id))
 		return
 	}
+	j := pendingJoin{conn: conn, hello: hello, enqueuedNs: f.tel.enqueueNanos()}
 	select {
-	case f.pending <- pendingJoin{conn: conn, hello: hello}:
+	case f.pending <- j:
 	default:
+		f.tel.unqueued() // never entered the queue: depth back down, no wait sample
+		f.tel.admitted(false)
 		reject(conn, RejectAdmission, fmt.Sprintf("federation %q join queue is full; retry later", f.id))
 	}
 }
@@ -181,6 +203,8 @@ func (f *Federation) rejectQueued() {
 	for {
 		select {
 		case j := <-f.pending:
+			f.tel.dequeued(j.enqueuedNs)
+			f.tel.admitted(false)
 			reject(j.conn, RejectClosed, fmt.Sprintf("federation %q is not admitting members", f.id))
 		default:
 			return
@@ -260,6 +284,7 @@ joining:
 		case <-f.filled:
 			break joining
 		case j := <-f.pending:
+			f.tel.dequeued(j.enqueuedNs)
 			f.admit(j.conn, j.hello)
 		case <-timeout:
 			return nil, fmt.Errorf("flnet: federation %q: join phase timed out after %v with %d/%d clients",
@@ -297,6 +322,7 @@ func (f *Federation) runEngine(st *startState) (*ServerResult, error) {
 		InitialMax:   st.resumeMax,
 		InitialPrev:  st.prev,
 		Halt:         f.draining.Load,
+		Telemetry:    f.tel.engineTelemetry(),
 	}
 	if f.test != nil {
 		eng.Evaluate = func(w []float64) (float64, error) {
@@ -450,12 +476,14 @@ func (f *Federation) collectRound(sessions []*session, selected []int, round int
 				if err != nil || frame.Dim != len(weights) || frame.Spec != cl.spec {
 					return
 				}
+				f.tel.bytesIn(len(resp.Frame))
 				u.Frame = frame
 				u.Weights = frame.Reconstruct(weights)
 			} else {
 				if len(resp.Weights) != len(weights) {
 					return
 				}
+				f.tel.bytesIn(8 * len(resp.Weights))
 				u.Weights = resp.Weights
 			}
 			replies[slot] = reply{update: u, ok: true}
@@ -493,6 +521,10 @@ type Host struct {
 	// HandshakeTimeout bounds the hello read on each accepted connection
 	// (0 = 5s), so a silent peer cannot wedge the shared accept path.
 	HandshakeTimeout time.Duration
+	// Tracer, when non-nil, records one hello-read-and-route span per
+	// accepted connection on the "host" track, so slow or silent peers on
+	// the shared accept path are visible in the trace.
+	Tracer *telemetry.Tracer
 
 	mu   sync.Mutex
 	feds map[string]*Federation
@@ -545,6 +577,7 @@ func (h *Host) Serve(lis net.Listener) error {
 	if hsTimeout <= 0 {
 		hsTimeout = 5 * time.Second
 	}
+	hostTrack := h.Tracer.Track("host")
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	for {
@@ -558,18 +591,22 @@ func (h *Host) Serve(lis net.Listener) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sp := h.Tracer.Start(hostTrack, "accept-handshake")
 			conn := NewConn(raw, hsTimeout)
 			hello, err := conn.Recv()
 			if err != nil || hello.Type != MsgJoin {
 				_ = conn.Close() // a scanner, half-open dial or silent peer
+				sp.End()
 				return
 			}
 			fed := h.route(hello.Federation)
 			if fed == nil {
 				reject(conn, RejectUnknownFederation, fmt.Sprintf("no federation %q on this host", hello.Federation))
+				sp.End()
 				return
 			}
 			fed.Offer(conn, hello)
+			sp.End()
 		}()
 	}
 }

@@ -142,6 +142,7 @@ func (c *Conn) Close() error { return c.raw.Close() }
 // Send writes one envelope.
 func (c *Conn) Send(e *Envelope) error {
 	if c.Timeout > 0 {
+		//lint:allow telemetryclock socket write deadline feeds the OS, not results
 		if err := c.raw.SetWriteDeadline(time.Now().Add(c.Timeout)); err != nil {
 			return err
 		}
@@ -155,6 +156,7 @@ func (c *Conn) Send(e *Envelope) error {
 // Recv reads one envelope.
 func (c *Conn) Recv() (*Envelope, error) {
 	if c.Timeout > 0 {
+		//lint:allow telemetryclock socket read deadline feeds the OS, not results
 		if err := c.raw.SetReadDeadline(time.Now().Add(c.Timeout)); err != nil {
 			return nil, err
 		}

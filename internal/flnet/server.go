@@ -11,6 +11,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/fl"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 )
 
 // ServerConfig configures one federation (whether served single-tenant by
@@ -76,6 +77,15 @@ type ServerConfig struct {
 	// before round start. Compression is client-side: the server decodes
 	// frames, it never fabricates them.
 	Codec string
+	// Metrics, when non-nil, registers this federation's instruments —
+	// rounds, phases, codec bytes, joins, admission-queue depth and wait,
+	// drains — on the shared registry, labelled federation="<id>" so
+	// co-hosted tenants stay distinguishable on one /metrics endpoint.
+	// Pure observation: fixed-seed runs are bit-identical with or without.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, records the federation's spans (rounds, phases,
+	// join handshakes, queue waits, drain marks) for post-run export.
+	Tracer *telemetry.Tracer
 }
 
 // Validate reports configuration errors.
@@ -185,6 +195,7 @@ func (s *Server) Serve(lis net.Listener) (*ServerResult, error) {
 func (s *Server) acceptClients(lis net.Listener) error {
 	var deadline time.Time
 	if s.cfg.AcceptTimeout > 0 {
+		//lint:allow telemetryclock accept deadline feeds the OS listener, not results
 		deadline = time.Now().Add(s.cfg.AcceptTimeout)
 		if d, ok := lis.(interface{ SetDeadline(time.Time) error }); ok {
 			if err := d.SetDeadline(deadline); err == nil {
@@ -197,6 +208,7 @@ func (s *Server) acceptClients(lis net.Listener) error {
 			s.cfg.AcceptTimeout, n, s.cfg.MinClients)
 	}
 	for s.fed.memberCount() < s.cfg.MinClients {
+		//lint:allow telemetryclock join-phase wall deadline gates accepts, not results
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
 			return timedOut(s.fed.memberCount())
 		}

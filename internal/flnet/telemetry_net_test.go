@@ -1,0 +1,118 @@
+package flnet
+
+import (
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/telemetry"
+)
+
+// TestTelemetryOnOffBitIdenticalOverSockets locks in the telemetry
+// discipline on the socket transport, under co-hosting and concurrency in
+// one go: two federations share one Host, one metrics registry and one
+// tracer (so span emission is exercised concurrently — the CI -race leg
+// runs this test), and each must still produce results bit-identical to
+// its dedicated, telemetry-free baseline. The shared registry must come
+// out with per-federation labelled series.
+func TestTelemetryOnOffBitIdenticalOverSockets(t *testing.T) {
+	tenants := testTenants()
+	dedicated := make([]*ServerResult, len(tenants))
+	for i, tn := range tenants {
+		dedicated[i] = runDedicated(t, tn) // telemetry off: the reference
+	}
+
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(0)
+	telemetry.SetDistanceHook(reg, tr)
+	defer telemetry.ClearDistanceHook()
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	host := NewHost()
+	host.Tracer = tr
+	feds := make([]*Federation, len(tenants))
+	type fedData struct {
+		train    *dataset.Dataset
+		newModel func(rng *rand.Rand) *nn.Network
+		shards   [][]int
+	}
+	data := make([]fedData, len(tenants))
+	for i, tn := range tenants {
+		tn.cfg.Metrics = reg
+		tn.cfg.Tracer = tr
+		train, test, newModel, shards := tenantData(t, tn)
+		fed, err := NewFederation(tn.id, tn.cfg, tn.agg, newModel, test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := host.Add(fed); err != nil {
+			t.Fatal(err)
+		}
+		feds[i] = fed
+		data[i] = fedData{train: train, newModel: newModel, shards: shards}
+	}
+	go func() { _ = host.Serve(lis) }()
+
+	type out struct {
+		res *ServerResult
+		err error
+	}
+	done := make([]chan out, len(tenants))
+	for i, fed := range feds {
+		done[i] = make(chan out, 1)
+		go func(i int, fed *Federation) {
+			res, err := fed.Run()
+			done[i] <- out{res, err}
+		}(i, fed)
+	}
+	var wgs []*sync.WaitGroup
+	for i, tn := range tenants {
+		wgs = append(wgs, runTenantClients(t, lis.Addr().String(), tn, data[i].train, data[i].newModel, data[i].shards))
+	}
+	for _, wg := range wgs {
+		wg.Wait()
+	}
+	for i, tn := range tenants {
+		o := <-done[i]
+		if o.err != nil {
+			t.Fatalf("tenant %q hosted: %v", tn.id, o.err)
+		}
+		sameResult(t, "tenant "+tn.id+" with telemetry", dedicated[i], o.res)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	metrics := b.String()
+	for _, want := range []string{
+		`fl_rounds_total{federation="alpha"} 3`,
+		`fl_rounds_total{federation="beta"} 4`,
+		`flnet_joins_total{federation="alpha"} 3`,
+		`flnet_joins_total{federation="beta"} 2`,
+		`flnet_pending_joins{federation="alpha"} 0`,
+		`fl_phase_seconds_count{federation="beta",phase="aggregate"} 4`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("missing %q in shared registry:\n%s", want, metrics)
+		}
+	}
+	// The fp16 tenant's updates arrive as codec frames; the legacy tenant's
+	// as dense weights. Both must have been byte-accounted.
+	for _, fed := range []string{"alpha", "beta"} {
+		if strings.Contains(metrics, `fl_codec_bytes_in_total{federation="`+fed+`"} 0`) {
+			t.Errorf("federation %s received no accounted bytes:\n%s", fed, metrics)
+		}
+	}
+	if tr.Len() == 0 {
+		t.Error("tracer buffered no spans")
+	}
+}

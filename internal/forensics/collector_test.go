@@ -260,25 +260,46 @@ func TestHTTPEndpoints(t *testing.T) {
 		}
 	}
 
-	var metrics struct {
-		Cumulative Summary           `json:"cumulative"`
-		Current    *jsonRoundMetrics `json:"current"`
-	}
-	get("/metrics", &metrics)
-	if metrics.Cumulative.Aggregations != 4 {
-		t.Fatalf("cumulative aggregations = %d, want 4", metrics.Cumulative.Aggregations)
-	}
-	if metrics.Cumulative.AUC != 1 {
-		t.Fatalf("cumulative AUC = %v, want 1", metrics.Cumulative.AUC)
-	}
-	if metrics.Current == nil || metrics.Current.Round != 3 {
-		t.Fatalf("current round = %+v, want round 3", metrics.Current)
+	// The canonical routes live under /forensics/; the legacy top-level
+	// paths answer with permanent redirects that http.Get follows, so both
+	// spellings must serve the same JSON.
+	for _, prefix := range []string{"/forensics", ""} {
+		var metrics struct {
+			Cumulative Summary           `json:"cumulative"`
+			Current    *jsonRoundMetrics `json:"current"`
+		}
+		get(prefix+"/metrics", &metrics)
+		if metrics.Cumulative.Aggregations != 4 {
+			t.Fatalf("cumulative aggregations = %d, want 4", metrics.Cumulative.Aggregations)
+		}
+		if metrics.Cumulative.AUC != 1 {
+			t.Fatalf("cumulative AUC = %v, want 1", metrics.Cumulative.AUC)
+		}
+		if metrics.Current == nil || metrics.Current.Round != 3 {
+			t.Fatalf("current round = %+v, want round 3", metrics.Current)
+		}
+
+		var rounds []jsonRoundAudit
+		get(prefix+"/rounds", &rounds)
+		if len(rounds) != 4 || len(rounds[0].Records) != 5 {
+			t.Fatalf("rounds endpoint returned %d rounds", len(rounds))
+		}
 	}
 
-	var rounds []jsonRoundAudit
-	get("/rounds", &rounds)
-	if len(rounds) != 4 || len(rounds[0].Records) != 5 {
-		t.Fatalf("rounds endpoint returned %d rounds", len(rounds))
+	// The legacy paths must redirect (not duplicate) so scrapers migrate.
+	noRedirect := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := noRedirect.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPermanentRedirect {
+		t.Fatalf("/metrics status %d, want %d", resp.StatusCode, http.StatusPermanentRedirect)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/forensics/metrics" {
+		t.Fatalf("/metrics redirects to %q, want /forensics/metrics", loc)
 	}
 }
 

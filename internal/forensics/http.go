@@ -60,21 +60,22 @@ func auditToJSON(ra RoundAudit) jsonRoundAudit {
 	return jsonRoundAudit{RoundAudit: ra, Metrics: metricsToJSON(ra.Metrics)}
 }
 
-// Handler serves the live detection analytics:
+// Mount registers the live detection analytics under prefix on mux:
 //
-//	GET /metrics  → {"cumulative": Summary, "current": RoundMetrics|null}
-//	GET /rounds   → [RoundAudit…] (the in-memory ring, oldest first)
+//	GET <prefix>/metrics  → {"cumulative": Summary, "current": RoundMetrics|null}
+//	GET <prefix>/rounds   → [RoundAudit…] (the in-memory ring, oldest first)
 //
-// All responses are application/json; NaN-able metrics are null.
-func (c *Collector) Handler() http.Handler {
-	mux := http.NewServeMux()
+// All responses are application/json; NaN-able metrics are null. Mounting
+// under a prefix (canonically "/forensics") lets the forensics surface share
+// one ops mux with the Prometheus /metrics endpoint without a route clash.
+func (c *Collector) Mount(mux *http.ServeMux, prefix string) {
 	writeJSON := func(w http.ResponseWriter, v any) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(v) // client went away; nothing to do
 	}
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc(prefix+"/metrics", func(w http.ResponseWriter, r *http.Request) {
 		rounds := c.Rounds()
 		var current *jsonRoundMetrics
 		if len(rounds) > 0 {
@@ -86,7 +87,7 @@ func (c *Collector) Handler() http.Handler {
 			Current    *jsonRoundMetrics `json:"current"`
 		}{c.Summary(), current})
 	})
-	mux.HandleFunc("/rounds", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc(prefix+"/rounds", func(w http.ResponseWriter, r *http.Request) {
 		rounds := c.Rounds()
 		out := make([]jsonRoundAudit, len(rounds))
 		for i, ra := range rounds {
@@ -94,6 +95,17 @@ func (c *Collector) Handler() http.Handler {
 		}
 		writeJSON(w, out)
 	})
+}
+
+// Handler serves the standalone forensics endpoint: the analytics live under
+// /forensics/ (the canonical routes shared with the unified ops endpoint),
+// with permanent redirects from the legacy top-level /metrics and /rounds so
+// existing scrapers keep working.
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	c.Mount(mux, "/forensics")
+	mux.Handle("/metrics", http.RedirectHandler("/forensics/metrics", http.StatusPermanentRedirect))
+	mux.Handle("/rounds", http.RedirectHandler("/forensics/rounds", http.StatusPermanentRedirect))
 	return mux
 }
 

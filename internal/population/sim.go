@@ -218,6 +218,7 @@ func (s *Simulation) Run() (*fl.Result, error) {
 		NewModel:     s.newModel,
 		Observer:     s.cfg.Observer,
 		Codec:        s.cfg.Codec,
+		Telemetry:    s.cfg.Telemetry,
 		// Attackers report the population's mean shard size so weighted
 		// aggregation cannot trivially expose them.
 		AttackSamples: s.pop.MeanShardSize(),

@@ -11,8 +11,10 @@ import (
 // Progress returns a grid progress callback that streams one line per
 // completed cell to w: cells-done/total, the cell's identity, whether it
 // was replayed from the run store or failed, and the estimated time
-// remaining. The runner serializes event delivery, so the callback needs
-// no locking.
+// remaining. When the runner carries sweep telemetry, each line also
+// reports this worker's fleet contribution: cells it executed, its
+// throughput, and claim attempts lost to other workers' live leases. The
+// runner serializes event delivery, so the callback needs no locking.
 func Progress(w io.Writer) func(experiment.ProgressEvent) {
 	return func(ev experiment.ProgressEvent) {
 		cell := cellLabel(ev.Config)
@@ -29,8 +31,15 @@ func Progress(w io.Writer) func(experiment.ProgressEvent) {
 		if ev.ETA > 0 {
 			eta = fmt.Sprintf(" eta %s", ev.ETA.Round(time.Second))
 		}
-		fmt.Fprintf(w, "[%d/%d] %s%s elapsed %s%s\n",
-			ev.Done, ev.Total, cell, status, ev.Elapsed.Round(time.Millisecond), eta)
+		fleet := ""
+		if ev.WorkerCells > 0 {
+			fleet = fmt.Sprintf(" worker %d cells %.1f/min", ev.WorkerCells, ev.CellsPerMin)
+			if ev.LeaseConflicts > 0 {
+				fleet += fmt.Sprintf(" conflicts %d", ev.LeaseConflicts)
+			}
+		}
+		fmt.Fprintf(w, "[%d/%d] %s%s elapsed %s%s%s\n",
+			ev.Done, ev.Total, cell, status, ev.Elapsed.Round(time.Millisecond), eta, fleet)
 	}
 }
 

@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewOpsMux assembles the unified operator endpoint: Prometheus metrics at
+// /metrics and the standard pprof handlers under /debug/pprof/. Callers
+// mount further surfaces (the forensics JSON handlers under /forensics/)
+// on the returned mux, so one listener serves the whole ops plane.
+func NewOpsMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w) // client went away; nothing to do
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// RegisterPoolGauges exposes the process-global tensor worker pool as
+// scrape-time gauges: the configured width and the helper goroutines
+// currently running. Callers pass the accessors (tensor.Workers,
+// tensor.InUse) so this package stays free of kernel-layer imports.
+func RegisterPoolGauges(reg *Registry, workers, inUse func() int) {
+	if reg == nil {
+		return
+	}
+	if workers != nil {
+		reg.GaugeFunc("tensor_pool_workers",
+			"Configured kernel worker-pool width (SetWorkers/-threads).",
+			func() float64 { return float64(workers()) })
+	}
+	if inUse != nil {
+		reg.GaugeFunc("tensor_pool_in_use",
+			"Kernel helper goroutines currently running (pool occupancy).",
+			func() float64 { return float64(inUse()) })
+	}
+}
+
+// ServeOps serves h on addr (e.g. ":9090", or ":0" for an ephemeral port)
+// in a background goroutine for the lifetime of the run. It returns the
+// bound address and a shutdown function.
+func ServeOps(addr string, h http.Handler) (string, func() error, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h}
+	go func() { _ = srv.Serve(lis) }()
+	return lis.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestOpsMuxServesMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total", "Liveness.").Inc()
+	RegisterPoolGauges(reg, func() int { return 4 }, func() int { return 1 })
+
+	bound, shutdown, err := ServeOps("127.0.0.1:0", NewOpsMux(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = shutdown() }()
+
+	get := func(path string) (int, string, string) {
+		resp, err := http.Get("http://" + bound + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ctype := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+	for _, want := range []string{"up_total 1", "tensor_pool_workers 4", "tensor_pool_in_use 1"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in /metrics:\n%s", want, body)
+		}
+	}
+
+	code, body, _ = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+}

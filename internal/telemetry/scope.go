@@ -1,0 +1,272 @@
+package telemetry
+
+import "sync/atomic"
+
+// Phase enumerates the engine's fixed round phases. The collect phase
+// covers the transport round-trip — broadcast, client training and codec
+// decode — for both the in-process simulator and the socket server; the
+// distance-matrix geometry inside robust aggregation is reported
+// separately through the defense hook (DistanceSpan).
+type Phase int
+
+const (
+	PhaseSelect Phase = iota
+	PhaseCollect
+	PhaseAttack
+	PhaseEncode
+	PhaseAggregate
+	PhaseServerOpt
+	PhaseEval
+	PhaseCheckpoint
+	phaseCount
+)
+
+// phaseNames are the phase label values and span names.
+var phaseNames = [phaseCount]string{
+	"select", "collect", "attack", "encode",
+	"aggregate", "serveropt", "eval", "checkpoint",
+}
+
+// Name returns the phase's label value.
+func (p Phase) Name() string {
+	if p < 0 || p >= phaseCount {
+		return "unknown"
+	}
+	return phaseNames[p]
+}
+
+// EngineTelemetry bundles one federation's engine instruments: the round
+// counter and duration histogram, one duration histogram per phase, and
+// the codec byte counters, all under an optional federation label. Methods
+// are nil-safe and the enabled hot path performs only atomic operations,
+// so the engine threads one optional pointer with no conditionals and no
+// allocation when disabled.
+type EngineTelemetry struct {
+	tracer *Tracer
+	track  int32
+
+	rounds   *Counter
+	roundDur *Histogram
+	phaseDur [phaseCount]*Histogram
+
+	bytesIn  *Counter
+	bytesOut *Counter
+	frames   *Counter
+}
+
+// NewEngineTelemetry registers one federation's engine instruments on reg
+// (labelled federation="<id>" when id is non-empty) and binds its spans to
+// tracer (which may be nil for metrics-only operation). A nil reg yields
+// metric-less spans; both nil yields nil, the disabled state.
+func NewEngineTelemetry(reg *Registry, tracer *Tracer, federation string) *EngineTelemetry {
+	if reg == nil && tracer == nil {
+		return nil
+	}
+	var labels []Label
+	track := "engine"
+	if federation != "" {
+		labels = []Label{{Key: "federation", Value: federation}}
+		track = "federation/" + federation
+	}
+	t := &EngineTelemetry{
+		tracer: tracer,
+		track:  tracer.Track(track),
+		rounds: reg.Counter("fl_rounds_total",
+			"Completed federated rounds.", labels...),
+		roundDur: reg.Histogram("fl_round_seconds",
+			"Wall-clock duration of one federated round.", labels...),
+		bytesIn: reg.Counter("fl_codec_bytes_in_total",
+			"Update payload bytes received (wire size of codec frames; 8B/coord for dense updates).", labels...),
+		bytesOut: reg.Counter("fl_codec_bytes_out_total",
+			"Model payload bytes broadcast to clients.", labels...),
+		frames: reg.Counter("fl_codec_frames_total",
+			"Codec frames carried by aggregated updates.", labels...),
+	}
+	for p := Phase(0); p < phaseCount; p++ {
+		t.phaseDur[p] = reg.Histogram("fl_phase_seconds",
+			"Wall-clock duration of one engine phase.",
+			append([]Label{{Key: "phase", Value: p.Name()}}, labels...)...)
+	}
+	return t
+}
+
+// Round opens the whole-round span and counts the round.
+func (t *EngineTelemetry) Round() Span {
+	if t == nil {
+		return Span{}
+	}
+	t.rounds.Inc()
+	return Span{tracer: t.tracer, hist: t.roundDur, name: "round", track: t.track, start: Nanos()}
+}
+
+// Phase opens one engine-phase span.
+func (t *EngineTelemetry) Phase(p Phase) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{tracer: t.tracer, hist: t.phaseDur[p], name: p.Name(), track: t.track, start: Nanos()}
+}
+
+// AddBytesIn counts received update payload bytes.
+func (t *EngineTelemetry) AddBytesIn(n int) {
+	if t != nil {
+		t.bytesIn.Add(int64(n))
+	}
+}
+
+// AddBytesOut counts broadcast model payload bytes.
+func (t *EngineTelemetry) AddBytesOut(n int) {
+	if t != nil {
+		t.bytesOut.Add(int64(n))
+	}
+}
+
+// AddFrames counts codec frames seen by aggregation.
+func (t *EngineTelemetry) AddFrames(n int) {
+	if t != nil {
+		t.frames.Add(int64(n))
+	}
+}
+
+// distanceHook is the process-global instrument for the defense layer's
+// pairwise distance-matrix computation. The robust aggregators are built
+// without any telemetry seam (they are pure functions of the updates), so
+// the one shared geometry routine reports through this hook instead of a
+// threaded parameter. Set/Clear are cold-path; the disabled read is one
+// atomic load.
+type distanceHook struct {
+	tracer *Tracer
+	track  int32
+	dur    *Histogram
+}
+
+var distHook atomic.Pointer[distanceHook]
+
+// SetDistanceHook routes defense distance-matrix spans to reg/tracer.
+// Process-global: with co-hosted federations the hook reports the shared
+// defense layer, not one tenant. Pair with ClearDistanceHook.
+func SetDistanceHook(reg *Registry, tracer *Tracer) {
+	if reg == nil && tracer == nil {
+		ClearDistanceHook()
+		return
+	}
+	distHook.Store(&distanceHook{
+		tracer: tracer,
+		track:  tracer.Track("defense"),
+		dur: reg.Histogram("defense_distance_seconds",
+			"Wall-clock duration of one pairwise distance-matrix computation."),
+	})
+}
+
+// ClearDistanceHook disables the defense distance-matrix instrument.
+func ClearDistanceHook() { distHook.Store(nil) }
+
+// DistanceSpan opens a distance-matrix span, or an inert one when no hook
+// is set (one atomic load, no allocation).
+func DistanceSpan() Span {
+	h := distHook.Load()
+	if h == nil {
+		return Span{}
+	}
+	return Span{tracer: h.tracer, hist: h.dur, name: "distance-matrix", track: h.track, start: Nanos()}
+}
+
+// SweepTelemetry bundles one sweep worker's instruments: executed-cell
+// count and duration, and the lease-protocol counters (claims, conflicts,
+// reclaims, adoptions) under a worker label. Nil-safe throughout.
+type SweepTelemetry struct {
+	tracer *Tracer
+	track  int32
+
+	cells     *Counter
+	cellDur   *Histogram
+	claims    *Counter
+	conflicts *Counter
+	reclaims  *Counter
+	adopted   *Counter
+}
+
+// NewSweepTelemetry registers one worker's sweep instruments (labelled
+// worker="<owner>" when owner is non-empty).
+func NewSweepTelemetry(reg *Registry, tracer *Tracer, owner string) *SweepTelemetry {
+	if reg == nil && tracer == nil {
+		return nil
+	}
+	var labels []Label
+	track := "sweep"
+	if owner != "" {
+		labels = []Label{{Key: "worker", Value: owner}}
+		track = "sweep/" + owner
+	}
+	return &SweepTelemetry{
+		tracer: tracer,
+		track:  tracer.Track(track),
+		cells: reg.Counter("sweep_cells_total",
+			"Grid cells executed by this worker.", labels...),
+		cellDur: reg.Histogram("sweep_cell_seconds",
+			"Wall-clock duration of one executed grid cell.", labels...),
+		claims: reg.Counter("sweep_lease_claims_total",
+			"Successful lease claims (fresh cells this worker took).", labels...),
+		conflicts: reg.Counter("sweep_lease_conflicts_total",
+			"Claim attempts lost to a live foreign lease.", labels...),
+		reclaims: reg.Counter("sweep_lease_reclaims_total",
+			"Leases reclaimed from workers whose epoch provably stalled.", labels...),
+		adopted: reg.Counter("sweep_cells_adopted_total",
+			"Cells adopted from results other workers recorded.", labels...),
+	}
+}
+
+// Cell opens the span for one executed grid cell and counts it.
+func (t *SweepTelemetry) Cell(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	t.cells.Inc()
+	return Span{tracer: t.tracer, hist: t.cellDur, name: name, track: t.track, start: Nanos()}
+}
+
+// Claim counts a successful lease claim; stolen reports a reclaim from a
+// provably stalled holder.
+func (t *SweepTelemetry) Claim(stolen bool) {
+	if t == nil {
+		return
+	}
+	t.claims.Inc()
+	if stolen {
+		t.reclaims.Inc()
+		t.tracer.Emit(t.track, "lease-reclaim", Nanos(), 0)
+	}
+}
+
+// Conflict counts a claim attempt lost to a live foreign lease.
+func (t *SweepTelemetry) Conflict() {
+	if t == nil {
+		return
+	}
+	t.conflicts.Inc()
+}
+
+// Adopt counts a cell adopted from another worker's recorded result.
+func (t *SweepTelemetry) Adopt() {
+	if t == nil {
+		return
+	}
+	t.adopted.Inc()
+	t.tracer.Emit(t.track, "adopt", Nanos(), 0)
+}
+
+// Cells returns the executed-cell count (0 on nil).
+func (t *SweepTelemetry) Cells() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.cells.Value()
+}
+
+// Conflicts returns the lease-conflict count (0 on nil).
+func (t *SweepTelemetry) Conflicts() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.conflicts.Value()
+}

@@ -55,6 +55,11 @@ func acquireSlot() bool {
 
 func releaseSlot() { extraSlots.Add(-1) }
 
+// InUse reports how many helper goroutines beyond their callers are
+// currently running — the pool's instantaneous occupancy, for telemetry
+// gauges. Purely observational; the value is stale the moment it returns.
+func InUse() int { return int(extraSlots.Load()) }
+
 // FanOut runs fn in up to workers goroutines: fn(0) in the calling
 // goroutine and fn(w) for w = 1.. in one helper goroutine per slot
 // acquired from the same global budget the kernel helpers draw from, so

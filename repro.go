@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -88,6 +89,13 @@ type RunOptions struct {
 	// Threads pins the kernel worker-pool size (see SetThreads); 0 keeps
 	// the current setting (default: GOMAXPROCS).
 	Threads int
+	// OpsAddr, when non-empty, serves the sweep's ops endpoint over HTTP at
+	// this address for the run's duration: Prometheus metrics at /metrics
+	// (executed cells, cell durations, lease claims/conflicts/reclaims,
+	// adopted cells, kernel-pool gauges — labelled worker="<Owner>" when
+	// Owner is set) and the pprof handlers under /debug/pprof/. Pure
+	// observation: results are bit-identical with or without it.
+	OpsAddr string
 }
 
 // SetThreads pins the process-global kernel worker-pool size: the bound on
@@ -121,6 +129,11 @@ func RunConfigOpts(cfg Config, opts RunOptions) (*Outcome, error) {
 		return nil, err
 	}
 	defer closeStore()
+	closeOps, err := attachOps(runner, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer closeOps()
 	outs, err := runner.RunGrid([]Config{cfg}, 1)
 	if err != nil {
 		return nil, err
@@ -159,6 +172,24 @@ func attachStore(runner *experiment.Runner, opts RunOptions) (func(), error) {
 	runner.Store = store
 	runner.Resume = opts.Resume
 	return func() { _ = store.Close() }, nil
+}
+
+// attachOps serves the sweep-level ops endpoint when the options ask for
+// one, and wires the fleet instruments (cells, leases, throughput) into the
+// runner so progress lines and /metrics agree. The returned func shuts the
+// endpoint down.
+func attachOps(runner *experiment.Runner, opts RunOptions) (func(), error) {
+	if opts.OpsAddr == "" {
+		return func() {}, nil
+	}
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterPoolGauges(reg, tensor.Workers, tensor.InUse)
+	runner.Telemetry = telemetry.NewSweepTelemetry(reg, nil, opts.Owner)
+	_, shutdown, err := telemetry.ServeOps(opts.OpsAddr, telemetry.NewOpsMux(reg))
+	if err != nil {
+		return nil, fmt.Errorf("repro: ops endpoint: %w", err)
+	}
+	return func() { _ = shutdown() }, nil
 }
 
 // ProgressWriter returns a RunOptions.Progress callback that streams one
@@ -209,6 +240,11 @@ func RunExperimentOpts(id string, opts RunOptions, w io.Writer) error {
 		return err
 	}
 	defer closeStore()
+	closeOps, err := attachOps(runner, opts)
+	if err != nil {
+		return err
+	}
+	defer closeOps()
 	if _, err := fmt.Fprintf(w, "# %s [profile=%s]\n", exp.Title, profile.Name); err != nil {
 		return err
 	}
