@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/report"
 )
 
 func main() {
@@ -46,6 +47,8 @@ func run(args []string) error {
 	owner := fs.String("owner", "", "worker name recorded in lease records (diagnostics only; default hostname-pid)")
 	progress := fs.Bool("progress", false, "stream per-cell completion lines with ETA to stderr")
 	opsAddr := fs.String("ops-addr", "", "serve the sweep's ops endpoint over HTTP at this address, e.g. :9090: Prometheus metrics at /metrics (cells, lease protocol, kernel pool) and pprof under /debug/pprof/ (empty = off)")
+	dash := fs.Bool("dash", false, "mount the embedded operator dashboard at /dash/ on the ops endpoint: fleet panel over the sweep metrics, plus replay/diff when -dash-replay is set (defaults -ops-addr to 127.0.0.1:0 when unset)")
+	dashReplay := fs.String("dash-replay", "", "comma-separated journal paths (audit journals or run stores) to load into the dashboard's time-travel/diff tab (requires -dash)")
 	threads := fs.Int("threads", 0, "kernel worker-pool size for training/defense compute (0 = GOMAXPROCS); never changes results")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	if err := fs.Parse(args); err != nil {
@@ -66,14 +69,27 @@ func run(args []string) error {
 	if *owner != "" && !*worker {
 		return fmt.Errorf("-owner requires -worker")
 	}
+	if *dashReplay != "" && !*dash {
+		return fmt.Errorf("-dash-replay requires -dash")
+	}
+	if *dash && *opsAddr == "" {
+		*opsAddr = "127.0.0.1:0"
+	}
 	opts := repro.RunOptions{
-		Profile:   *profile,
-		StorePath: *storePath,
-		Resume:    *resume,
-		Worker:    *worker,
-		Owner:     *owner,
-		Threads:   *threads,
-		OpsAddr:   *opsAddr,
+		Profile:    *profile,
+		StorePath:  *storePath,
+		Resume:     *resume,
+		Worker:     *worker,
+		Owner:      *owner,
+		Threads:    *threads,
+		OpsAddr:    *opsAddr,
+		Dash:       *dash,
+		DashReplay: *dashReplay,
+	}
+	if *dash {
+		// The hint goes to stderr with the progress stream; stdout stays
+		// the paper-table surface.
+		opts.OnOpsBound = func(addr string) { report.DashboardHint(os.Stderr, addr) }
 	}
 	if *progress {
 		opts.Progress = repro.ProgressWriter(os.Stderr)

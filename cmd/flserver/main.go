@@ -23,6 +23,14 @@
 //
 //	flserver -addr :7070 -federations alpha,beta -ops-addr :9090
 //	curl localhost:9090/metrics                  # flnet_joins_total{federation="alpha"} …
+//
+// The embedded operator dashboard rides the same listener: -dash mounts it
+// at /dash/ with one live tab per federation (SSE-streamed decision audits,
+// score histograms, fingerprint scatter) plus the fleet panel, and
+// -dash-replay loads past audit journals or run stores into its
+// time-travel/diff tab:
+//
+//	flserver -addr :7070 -federations alpha,beta -ops-addr :9090 -dash
 package main
 
 import (
@@ -40,6 +48,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/dashboard"
 	"repro/internal/dataset"
 	"repro/internal/defense"
 	"repro/internal/experiment"
@@ -47,6 +56,7 @@ import (
 	"repro/internal/flnet"
 	"repro/internal/forensics"
 	"repro/internal/nn"
+	"repro/internal/report"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
@@ -58,7 +68,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("flserver", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
 	dsName := fs.String("dataset", "fashion-sim", "dataset spec (fashion-sim, cifar-sim, svhn-sim, tiny-sim)")
@@ -87,6 +97,8 @@ func run(args []string) error {
 	fs.StringVar(&opsAddr, "ops-addr", "", "serve the unified ops endpoint over HTTP at this address, e.g. :9090: Prometheus metrics at /metrics (per-federation labels when multi-tenant), pprof under /debug/pprof/, forensics JSON under /forensics/ — or /forensics/<id>/ with -federations (empty = off)")
 	fs.StringVar(&opsAddr, "forensics-addr", "", "alias for -ops-addr: the forensics endpoint is unified with the ops plane; the decision-audit JSON lives under /forensics/ and /metrics is Prometheus text")
 	auditPath := fs.String("audit", "", "JSONL audit-journal path for per-round defense decisions and update fingerprints (empty = off)")
+	dash := fs.Bool("dash", false, "mount the embedded operator dashboard at /dash/ on the ops endpoint: live SSE-streamed decision audits per federation, fleet metrics panel, and replay/diff when -dash-replay is set (defaults -ops-addr to 127.0.0.1:0 when unset)")
+	dashReplay := fs.String("dash-replay", "", "comma-separated journal paths (audit journals or run stores) to load into the dashboard's time-travel/diff tab (requires -dash)")
 	codecToken := fs.String("codec", "", "update codec served to clients, as a codec spec token: raw, fp16, int8, optionally with ,topk=<frac> and ,ef — e.g. int8,topk=0.1,ef (empty = legacy dense updates only; legacy clients are always served)")
 	federations := fs.String("federations", "", "serve several federations over one listener, as comma-separated id or id=defense entries, e.g. alpha=mkrum,beta=refd (empty = single-tenant; entries without =defense use -defense)")
 	pendingJoins := fs.Int("pending-joins", 0, "multi-tenant admission control: per-federation bound on handshakes queued for admission; joins beyond it are rejected with a typed retryable error (0 = max(clients, 16))")
@@ -95,6 +107,12 @@ func run(args []string) error {
 	}
 	if *federations == "" && *pendingJoins != 0 {
 		return fmt.Errorf("-pending-joins requires -federations (the single-tenant server admits inline and never queues)")
+	}
+	if *dashReplay != "" && !*dash {
+		return fmt.Errorf("-dash-replay requires -dash")
+	}
+	if *dash && opsAddr == "" {
+		opsAddr = "127.0.0.1:0"
 	}
 	codecSpec, err := codec.ParseSpec(*codecToken)
 	if err != nil {
@@ -160,7 +178,17 @@ func run(args []string) error {
 	}
 
 	if *federations != "" {
-		return runHost(*federations, cfg, buildAgg, *defName, *auditPath, opsAddr, *addr, newModel, test)
+		return runHost(hostOptions{
+			list:       *federations,
+			base:       cfg,
+			buildAgg:   buildAgg,
+			defense:    *defName,
+			auditPath:  *auditPath,
+			opsAddr:    opsAddr,
+			addr:       *addr,
+			dash:       *dash,
+			dashReplay: *dashReplay,
+		}, newModel, test)
 	}
 
 	agg, err := buildAgg(*defName)
@@ -200,12 +228,31 @@ func run(args []string) error {
 			col.Mount(mux, "/forensics")
 			mux.Handle("/rounds", http.RedirectHandler("/forensics/rounds", http.StatusPermanentRedirect))
 		}
+		if *dash {
+			var feds []string
+			if col != nil {
+				feds = []string{"/forensics"}
+			}
+			if err := mountDashboard(mux, "fl server — "+*defName, feds, *dashReplay, col != nil); err != nil {
+				return err
+			}
+		}
 		bound, shutdown, err := telemetry.ServeOps(opsAddr, mux)
 		if err != nil {
 			return err
 		}
-		defer func() { _ = shutdown() }()
+		defer func() {
+			// A drain failure is a real fault (stuck SSE subscribers, a
+			// listener that died mid-run); surface it unless the run itself
+			// already failed.
+			if cerr := shutdown(); cerr != nil && retErr == nil {
+				retErr = fmt.Errorf("ops shutdown: %w", cerr)
+			}
+		}()
 		fmt.Printf("flserver: ops endpoint at http://%s/metrics (forensics JSON under /forensics/)\n", bound)
+		if *dash {
+			report.DashboardHint(os.Stdout, bound)
+		}
 	}
 
 	srv, err := flnet.NewServer(cfg, agg, newModel, test)
@@ -240,19 +287,30 @@ func run(args []string) error {
 	return nil
 }
 
+// hostOptions carries the flag-derived configuration of a multi-tenant run.
+type hostOptions struct {
+	list       string
+	base       flnet.ServerConfig
+	buildAgg   func(string) (fl.Aggregator, error)
+	defense    string
+	auditPath  string
+	opsAddr    string
+	addr       string
+	dash       bool
+	dashReplay string
+}
+
 // runHost serves several federations over one listener. Each entry of the
 // -federations list becomes an independent Federation: its own defense,
 // round state, checkpoint file (suffix "-<id>") and audit journal (same
 // suffix). With -ops-addr, one shared registry carries every federation's
 // instruments under federation="<id>" labels on a single /metrics endpoint,
-// and each tenant's forensics JSON mounts under /forensics/<id>/.
-func runHost(list string, base flnet.ServerConfig, buildAgg func(string) (fl.Aggregator, error),
-	defaultDefense, auditPath, opsAddr, addr string,
-	newModel func(rng *rand.Rand) *nn.Network, test *dataset.Dataset) error {
-
+// and each tenant's forensics JSON mounts under /forensics/<id>/ — which is
+// exactly the prefix list the dashboard turns into per-federation tabs.
+func runHost(opt hostOptions, newModel func(rng *rand.Rand) *nn.Network, test *dataset.Dataset) (retErr error) {
 	var reg *telemetry.Registry
 	var mux *http.ServeMux
-	if opsAddr != "" {
+	if opt.opsAddr != "" {
 		reg = telemetry.NewRegistry()
 		telemetry.RegisterPoolGauges(reg, tensor.Workers, tensor.InUse)
 		mux = telemetry.NewOpsMux(reg)
@@ -263,8 +321,9 @@ func runHost(list string, base flnet.ServerConfig, buildAgg func(string) (fl.Agg
 	}
 	host := flnet.NewHost()
 	var tenants []tenant
+	var fedPrefixes []string
 	ids := map[string]bool{}
-	for _, entry := range strings.Split(list, ",") {
+	for _, entry := range strings.Split(opt.list, ",") {
 		entry = strings.TrimSpace(entry)
 		if entry == "" {
 			continue
@@ -279,24 +338,24 @@ func runHost(list string, base flnet.ServerConfig, buildAgg func(string) (fl.Agg
 		}
 		ids[id] = true
 		if !hasDef || strings.TrimSpace(defName) == "" {
-			defName = defaultDefense
+			defName = opt.defense
 		} else {
 			defName = strings.TrimSpace(defName)
 		}
-		agg, err := buildAgg(defName)
+		agg, err := opt.buildAgg(defName)
 		if err != nil {
 			return fmt.Errorf("federation %q: %w", id, err)
 		}
-		cfg := base
+		cfg := opt.base
 		if cfg.CheckpointPath != "" {
 			cfg.CheckpointPath += "-" + id
 		}
 		cfg.Metrics = reg
 		var col *forensics.Collector
-		if auditPath != "" || opsAddr != "" {
+		if opt.auditPath != "" || opt.opsAddr != "" {
 			perFedAudit := ""
-			if auditPath != "" {
-				perFedAudit = auditPath + "-" + id
+			if opt.auditPath != "" {
+				perFedAudit = opt.auditPath + "-" + id
 			}
 			col, err = forensics.NewCollector(forensics.Options{
 				Defense:   agg.Name(),
@@ -310,6 +369,7 @@ func runHost(list string, base flnet.ServerConfig, buildAgg func(string) (fl.Agg
 			cfg.Observer = col
 			if mux != nil {
 				col.Mount(mux, "/forensics/"+id)
+				fedPrefixes = append(fedPrefixes, "/forensics/"+id)
 			}
 		}
 		fed, err := flnet.NewFederation(id, cfg, agg, newModel, test)
@@ -326,21 +386,33 @@ func runHost(list string, base flnet.ServerConfig, buildAgg func(string) (fl.Agg
 		return fmt.Errorf("-federations lists no federations")
 	}
 	if mux != nil {
-		bound, shutdown, err := telemetry.ServeOps(opsAddr, mux)
+		if opt.dash {
+			if err := mountDashboard(mux, "fl host — "+opt.list, fedPrefixes, opt.dashReplay, len(fedPrefixes) > 0); err != nil {
+				return err
+			}
+		}
+		bound, shutdown, err := telemetry.ServeOps(opt.opsAddr, mux)
 		if err != nil {
 			return err
 		}
-		defer func() { _ = shutdown() }()
+		defer func() {
+			if cerr := shutdown(); cerr != nil && retErr == nil {
+				retErr = fmt.Errorf("ops shutdown: %w", cerr)
+			}
+		}()
 		fmt.Printf("flserver: ops endpoint at http://%s/metrics (per-federation forensics JSON under /forensics/<id>/)\n", bound)
+		if opt.dash {
+			report.DashboardHint(os.Stdout, bound)
+		}
 	}
 
-	lis, err := net.Listen("tcp", addr)
+	lis, err := net.Listen("tcp", opt.addr)
 	if err != nil {
 		return err
 	}
 	defer lis.Close()
 	fmt.Printf("flserver: hosting %d federations on %s, waiting for %d clients each\n",
-		len(tenants), lis.Addr(), base.MinClients)
+		len(tenants), lis.Addr(), opt.base.MinClients)
 	go func() {
 		if err := host.Serve(lis); err != nil {
 			fmt.Fprintln(os.Stderr, "flserver: host:", err)
@@ -368,6 +440,27 @@ func runHost(list string, base flnet.ServerConfig, buildAgg func(string) (fl.Agg
 	}
 	wg.Wait()
 	return errors.Join(errs...)
+}
+
+// mountDashboard mounts the embedded operator dashboard on the ops mux:
+// one live tab per federation forensics prefix, the fleet metrics panel,
+// and — when replaySpec names journals — the time-travel/diff tab.
+func mountDashboard(mux *http.ServeMux, title string, feds []string, replaySpec string, live bool) error {
+	replayRuns, err := experiment.LoadDashReplay(replaySpec)
+	if err != nil {
+		return err
+	}
+	if len(replayRuns) > 0 {
+		forensics.NewReplay(replayRuns).Mount(mux, dashboard.Prefix+"/api/replay")
+	}
+	dashboard.Mount(mux, dashboard.Config{
+		Title:       title,
+		Federations: feds,
+		Fleet:       true,
+		Replay:      len(replayRuns) > 0,
+		Live:        live,
+	})
+	return nil
 }
 
 // printResult writes the per-round reports and final metrics, each line

@@ -13,6 +13,8 @@
 //	flsim -defense refd -forensics -forensics-addr :8790 -audit audit.jsonl
 //	                                               # audit every defense decision, live metrics over HTTP
 //	flsim -trace trace.json -ops-addr :9090        # per-phase Chrome trace + Prometheus/pprof ops endpoint
+//	flsim -attack dfa-r -defense krum -dash        # live operator dashboard (prints its /dash/ URL on stderr)
+//	flsim -dash -dash-replay audit.jsonl,run.jsonl # … with the time-travel/diff tab over finished runs
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/report"
 )
 
 func main() {
@@ -76,6 +79,8 @@ func run(args []string) error {
 	fs.StringVar(&cfg.TracePath, "trace", "", "write the run's per-round/per-phase spans as a Chrome trace-event JSON file, loadable in Perfetto or chrome://tracing (implies telemetry; never changes results)")
 	fs.StringVar(&cfg.TraceJournal, "trace-journal", "", "append the run's spans to a JSONL trace journal at this path (implies telemetry)")
 	fs.StringVar(&cfg.OpsAddr, "ops-addr", "", "serve the ops endpoint over HTTP at this address for the run's duration, e.g. :9090: Prometheus metrics at /metrics, pprof under /debug/pprof/, forensics JSON under /forensics/ when enabled (implies telemetry)")
+	fs.BoolVar(&cfg.Dash, "dash", false, "mount the embedded operator dashboard at /dash/ on the ops endpoint, with live SSE streaming of the forensics feed (implies -forensics; defaults -ops-addr to 127.0.0.1:0 when unset)")
+	fs.StringVar(&cfg.DashReplay, "dash-replay", "", "comma-separated journal paths (audit journals or run stores) to load into the dashboard's time-travel/diff tab (requires -dash)")
 	storePath := fs.String("store", "", "JSONL run-store path; the completed run is journaled for resume (empty = off)")
 	resume := fs.Bool("resume", false, "replay the run from -store if already journaled instead of recomputing it")
 	threads := fs.Int("threads", 0, "kernel worker-pool size for training/defense compute (0 = GOMAXPROCS); never changes results")
@@ -84,6 +89,13 @@ func run(args []string) error {
 	}
 	if *resume && *storePath == "" {
 		return fmt.Errorf("-resume requires -store")
+	}
+	if cfg.Dash {
+		if cfg.OpsAddr == "" {
+			cfg.OpsAddr = "127.0.0.1:0"
+		}
+		// The hint goes to stderr so piped stdout keeps its machine shape.
+		cfg.OnOpsBound = func(addr string) { report.DashboardHint(os.Stderr, addr) }
 	}
 
 	start := time.Now()

@@ -166,7 +166,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 
 // All returns fllint's analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, RunKey, PoolEscape, NaNJSON, TelemetryClock}
+	return []*Analyzer{Determinism, RunKey, PoolEscape, NaNJSON, TelemetryClock, ZeroDep}
 }
 
 // ByName resolves analyzer names (comma-separated lists accepted by the

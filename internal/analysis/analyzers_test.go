@@ -29,10 +29,14 @@ func TestTelemetryClock(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.TelemetryClock, "flnet")
 }
 
+func TestZeroDep(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.ZeroDep, "dashboard")
+}
+
 func TestByName(t *testing.T) {
 	all, err := analysis.ByName("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 6 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 6, nil", len(all), err)
 	}
 	subset, err := analysis.ByName("runkey, nanjson")
 	if err != nil || len(subset) != 2 || subset[0].Name != "runkey" || subset[1].Name != "nanjson" {

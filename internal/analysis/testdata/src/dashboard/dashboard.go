@@ -1,0 +1,23 @@
+// Fixture for the zerodep analyzer: package name "dashboard" puts it in
+// the zero-dependency set, so repro-internal imports must be flagged while
+// standard-library imports (including multi-segment ones like net/http)
+// stay silent, and //lint:allow exemptions behave as everywhere else.
+package dashboard
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/telemetry" // want `package dashboard must import only the standard library`
+
+	//lint:allow zerodep fixture demonstrates the exemption path
+	"repro/internal/persist"
+)
+
+func stdlibOnly(w http.ResponseWriter) {
+	_ = json.NewEncoder(w).Encode(struct{}{})
+}
+
+func coupled() (*telemetry.Registry, persist.Entry) {
+	return telemetry.NewRegistry(), persist.Entry{}
+}

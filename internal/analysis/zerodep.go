@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// zeroDepPackages are the packages that must import only the standard
+// library. internal/dashboard is the embedded operator UI: it rides every
+// binary that mounts the ops mux, so a stray import of a repo-internal
+// package would drag engine code into thin servers (and an external module
+// would break the dependency-free go.mod). Matching is by package name so
+// analysistest fixtures exercise the same predicate as the real tree.
+var zeroDepPackages = map[string]bool{
+	"dashboard": true,
+}
+
+// ZeroDep forbids non-stdlib imports in the zero-dependency packages.
+var ZeroDep = &Analyzer{
+	Name: "zerodep",
+	Doc: `keep the embedded dashboard free of non-stdlib imports
+
+internal/dashboard is a pure asset shell: go:embed-ed HTML/JS plus the
+config handler, importable by every binary without pulling the engine in.
+An import of any repro-internal package couples the UI to engine code (and
+invites an import cycle with the forensics/telemetry packages that mount
+it); an external module would break the repo's dependency-free go.mod.
+Standard-library imports only — data flows to the page over HTTP routes,
+never through Go imports.`,
+	Run: runZeroDep,
+}
+
+// stdlibImport reports whether path names a standard-library package: no
+// dot in the first path segment (the module-path convention the go tool
+// itself uses) and not a path in this repo's module.
+func stdlibImport(path string) bool {
+	if path == "repro" || strings.HasPrefix(path, "repro/") {
+		return false
+	}
+	first, _, _ := strings.Cut(path, "/")
+	return !strings.Contains(first, ".")
+}
+
+func runZeroDep(pass *Pass) error {
+	if !zeroDepPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if !stdlibImport(path) {
+				pass.Reportf(imp.Pos(),
+					"package %s must import only the standard library; %q couples the embedded UI to non-stdlib code",
+					pass.Pkg.Name(), path)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,10 @@
+package dashboard
+
+import "embed"
+
+// assetFS carries the UI into the binary: index.html bootstraps, app.js
+// renders, style.css paints. No build step — the files are served as
+// written.
+//
+//go:embed assets
+var assetFS embed.FS

@@ -16,6 +16,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/dashboard"
 	"repro/internal/dataset"
 	"repro/internal/defense"
 	"repro/internal/fl"
@@ -186,6 +187,22 @@ type Config struct {
 	// TraceJournal, when non-empty, appends the run's spans to a JSONL
 	// journal via the persist append-only stream. Implies Telemetry.
 	TraceJournal string `json:"-"`
+	// Dash mounts the embedded operator dashboard (internal/dashboard) at
+	// /dash/ on the ops endpoint, with live SSE streaming of the forensics
+	// feed. Implies Telemetry and Forensics; requires OpsAddr (the
+	// dashboard rides the ops listener). Pure observation like the rest of
+	// this block: bit-identical on/off, stripped from run-store keys.
+	Dash bool `json:"-"`
+	// DashReplay lists journal paths (comma-separated; audit journals or
+	// run stores) loaded into the dashboard's time-travel/diff tab.
+	// Requires Dash.
+	DashReplay string `json:"-"`
+	// OnOpsBound, when non-nil, receives the ops listener's resolved
+	// address once serving — the hook the -dash startup hint prints the
+	// dashboard URL through. Never serializes (and must not: a func field
+	// would fail the config marshal run keys are derived from).
+	//lint:allow runkey runtime callback, json:"-" excluded from the key marshal, no canonical form to normalize
+	OnOpsBound func(addr string) `json:"-"`
 
 	// The compression axes below follow the same key-stability contract:
 	// defaults canonicalize to zero values and carry omitempty tags, so a
@@ -376,6 +393,16 @@ func (c *Config) Normalize() error {
 	}
 	if c.OpsAddr != "" || c.TracePath != "" || c.TraceJournal != "" {
 		c.Telemetry = true
+	}
+	if c.DashReplay != "" && !c.Dash {
+		return fmt.Errorf("experiment: DashReplay requires Dash")
+	}
+	if c.Dash {
+		if c.OpsAddr == "" {
+			return fmt.Errorf("experiment: Dash requires OpsAddr (the dashboard rides the ops listener)")
+		}
+		c.Telemetry = true
+		c.Forensics = true
 	}
 	switch c.Codec {
 	case "", "none":
@@ -727,7 +754,23 @@ func writeChromeTrace(tr *telemetry.Tracer, path string) error {
 
 // Run executes a single configuration without clean-baseline bookkeeping;
 // most callers want Runner.Run, which also fills CleanAcc and ASR.
-func Run(cfg Config) (*Outcome, error) {
+func Run(cfg Config) (out *Outcome, retErr error) {
+	// shutdowns collects the run's HTTP endpoint closers; they drain at
+	// exit (newest first) and surface their errors — an ops plane that
+	// failed to serve or drain is a real fault, not something to discard
+	// on the way out.
+	type closer struct {
+		what string
+		fn   func() error
+	}
+	var shutdowns []closer
+	defer func() {
+		for i := len(shutdowns) - 1; i >= 0; i-- {
+			if cerr := shutdowns[i].fn(); cerr != nil && retErr == nil {
+				out, retErr = nil, fmt.Errorf("experiment: %s shutdown: %w", shutdowns[i].what, cerr)
+			}
+		}
+	}()
 	if err := cfg.Normalize(); err != nil {
 		return nil, err
 	}
@@ -764,7 +807,7 @@ func Run(cfg Config) (*Outcome, error) {
 			if err != nil {
 				return nil, fmt.Errorf("experiment: forensics endpoint: %w", err)
 			}
-			defer func() { _ = shutdown() }()
+			shutdowns = append(shutdowns, closer{"forensics endpoint", shutdown})
 		}
 	}
 	var engTel *telemetry.EngineTelemetry
@@ -790,11 +833,34 @@ func Run(cfg Config) (*Outcome, error) {
 				col.Mount(mux, "/forensics")
 				mux.Handle("/rounds", http.RedirectHandler("/forensics/rounds", http.StatusPermanentRedirect))
 			}
-			_, shutdown, err := telemetry.ServeOps(cfg.OpsAddr, mux)
+			if cfg.Dash {
+				replayRuns, err := LoadDashReplay(cfg.DashReplay)
+				if err != nil {
+					return nil, err
+				}
+				if len(replayRuns) > 0 {
+					forensics.NewReplay(replayRuns).Mount(mux, dashboard.Prefix+"/api/replay")
+				}
+				var feds []string
+				if col != nil {
+					feds = []string{"/forensics"}
+				}
+				dashboard.Mount(mux, dashboard.Config{
+					Title:       "fl run — " + cfg.Dataset + "/" + cfg.Defense,
+					Federations: feds,
+					Fleet:       true,
+					Replay:      len(replayRuns) > 0,
+					Live:        col != nil,
+				})
+			}
+			bound, shutdown, err := telemetry.ServeOps(cfg.OpsAddr, mux)
 			if err != nil {
 				return nil, fmt.Errorf("experiment: ops endpoint: %w", err)
 			}
-			defer func() { _ = shutdown() }()
+			shutdowns = append(shutdowns, closer{"ops endpoint", shutdown})
+			if cfg.OnOpsBound != nil {
+				cfg.OnOpsBound(bound)
+			}
 		}
 	}
 	flCfg := fl.Config{
@@ -850,7 +916,7 @@ func Run(cfg Config) (*Outcome, error) {
 			return nil, fmt.Errorf("experiment: %w", err)
 		}
 	}
-	out := &Outcome{
+	out = &Outcome{
 		Config:   cfg,
 		CleanAcc: math.NaN(),
 		MaxAcc:   res.MaxAccuracy,

@@ -135,6 +135,10 @@ func (r *Runner) CleanAccuracy(cfg Config) (float64, error) {
 	// double-bound by the clean run it happens to trigger.
 	clean.Telemetry = false
 	clean.OpsAddr, clean.TracePath, clean.TraceJournal = "", "", ""
+	// The dashboard rides the ops listener the baseline just gave up, and
+	// its bound-address hook belongs to the triggering cell, not to a
+	// shared background run.
+	clean.Dash, clean.DashReplay, clean.OnOpsBound = false, "", nil
 	key := clean.cleanKey()
 
 	r.mu.Lock()
@@ -226,9 +230,11 @@ func (r *Runner) Run(cfg Config) (*Outcome, error) {
 			c.ForensicsRing, c.ForensicsReservoir = 0, 0
 			c.AuditPath, c.ForensicsAddr = "", ""
 			// Telemetry likewise: the ops listener and trace files are
-			// single-bind resources owned by the first seed's run.
+			// single-bind resources owned by the first seed's run — and with
+			// them the dashboard, which rides that listener.
 			c.Telemetry = false
 			c.OpsAddr, c.TracePath, c.TraceJournal = "", "", ""
+			c.Dash, c.DashReplay, c.OnOpsBound = false, "", nil
 		}
 		out, err := r.runOne(c)
 		if err != nil {

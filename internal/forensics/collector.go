@@ -97,6 +97,11 @@ type Collector struct {
 	// ring holds the most recent RoundAudits; next is the write cursor.
 	ring []RoundAudit
 	next int
+
+	// subs are the live-feed subscribers (see stream.go). Empty for every
+	// run without a dashboard attached, in which case the broadcast path
+	// is a single length check.
+	subs []*subscriber
 }
 
 var _ fl.AggregationObserver = (*Collector)(nil)
@@ -246,6 +251,8 @@ func (c *Collector) ObserveAggregation(round int, global []float64, updates []fl
 			c.journalErr = err
 		}
 	}
+
+	c.broadcastLocked(ra)
 }
 
 // offer streams one score pair into the bounded reservoir (Algorithm R
@@ -308,12 +315,18 @@ func (c *Collector) Err() error {
 	return c.journalErr
 }
 
-// Close releases the audit journal, returning any recorded write failure.
+// Close releases the audit journal and ends every live-feed subscription
+// (their channels close, so attached SSE handlers finish), returning any
+// recorded write failure.
 func (c *Collector) Close() error {
 	c.mu.Lock()
 	j, err := c.journal, c.journalErr
 	c.journal = nil
+	subs := c.closeStreamLocked()
 	c.mu.Unlock()
+	for _, s := range subs {
+		s.shut()
+	}
 	if j != nil {
 		if cerr := j.Close(); err == nil {
 			err = cerr

@@ -2,9 +2,13 @@ package forensics
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"math"
-	"net"
 	"net/http"
+	"strconv"
+
+	"repro/internal/telemetry"
 )
 
 // jf encodes a possibly-NaN float for JSON as a nullable pointer, the
@@ -14,6 +18,42 @@ func jf(v float64) *float64 {
 		return nil
 	}
 	return &v
+}
+
+// fv decodes a nullable float back to its in-memory NaN form.
+func fv(p *float64) float64 {
+	if p == nil {
+		return math.NaN()
+	}
+	return *p
+}
+
+// jsonFingerprint is Fingerprint's serialization shape: every component is
+// nullable, since a zero-length or zero-norm update makes the cosine (and
+// with one update, the neighbor distances) NaN.
+type jsonFingerprint struct {
+	L2          *float64 `json:"l2"`
+	CosMean     *float64 `json:"cosMean"`
+	MinNeighbor *float64 `json:"minNeighbor"`
+	MedNeighbor *float64 `json:"medNeighbor"`
+}
+
+// MarshalJSON guards the fingerprint's NaN-able floats as nulls — the
+// persistence-boundary convention nanjson enforces. Finite fingerprints
+// render byte-identically to the raw struct, so existing journals keep
+// their format.
+func (f Fingerprint) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonFingerprint{jf(f.L2), jf(f.CosMean), jf(f.MinNeighbor), jf(f.MedNeighbor)})
+}
+
+// UnmarshalJSON inverts MarshalJSON, restoring nulls to NaN.
+func (f *Fingerprint) UnmarshalJSON(b []byte) error {
+	var j jsonFingerprint
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*f = Fingerprint{L2: fv(j.L2), CosMean: fv(j.CosMean), MinNeighbor: fv(j.MinNeighbor), MedNeighbor: fv(j.MedNeighbor)}
+	return nil
 }
 
 // jsonRoundMetrics is the serialization shape of RoundMetrics.
@@ -49,6 +89,27 @@ func metricsToJSON(m RoundMetrics) jsonRoundMetrics {
 	}
 }
 
+// metricsFromJSON inverts metricsToJSON: the decode side the replay
+// service needs to reconstruct a RoundAudit from its journal payload.
+// Nullable metrics come back as NaN; the ratio metrics (TPR, FPR, …) are
+// methods over the decoded Confusion, so only AUC is carried explicitly.
+func metricsFromJSON(m jsonRoundMetrics) RoundMetrics {
+	rm := RoundMetrics{
+		Round:         m.Round,
+		Seq:           m.Seq,
+		Updates:       m.Updates,
+		Malicious:     m.Malicious,
+		Known:         m.Known,
+		ZeroSelection: m.ZeroSelection,
+		Confusion:     m.Confusion,
+		AUC:           math.NaN(),
+	}
+	if m.AUC != nil {
+		rm.AUC = *m.AUC
+	}
+	return rm
+}
+
 // jsonRoundAudit is the serialization shape of RoundAudit: the audit
 // journal's line payload and the /rounds endpoint's element.
 type jsonRoundAudit struct {
@@ -60,21 +121,31 @@ func auditToJSON(ra RoundAudit) jsonRoundAudit {
 	return jsonRoundAudit{RoundAudit: ra, Metrics: metricsToJSON(ra.Metrics)}
 }
 
+func auditFromJSON(ja jsonRoundAudit) RoundAudit {
+	ra := ja.RoundAudit
+	ra.Metrics = metricsFromJSON(ja.Metrics)
+	return ra
+}
+
+// jsonHeaders marks a response as uncacheable JSON. Every endpoint here
+// reports live, per-round state; a cached 200 would show an operator a
+// stale detection picture, so no-store is part of the contract.
+func jsonHeaders(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+}
+
 // Mount registers the live detection analytics under prefix on mux:
 //
-//	GET <prefix>/metrics  → {"cumulative": Summary, "current": RoundMetrics|null}
-//	GET <prefix>/rounds   → [RoundAudit…] (the in-memory ring, oldest first)
+//	GET <prefix>/metrics         → {"cumulative": Summary, "current": RoundMetrics|null}
+//	GET <prefix>/rounds          → [RoundAudit…] (the in-memory ring, oldest first)
+//	GET <prefix>/rounds?since=N  → {"cursor": C, "rounds": [{"cursor": n, "audit": RoundAudit}…]}
+//	GET <prefix>/stream          → text/event-stream of RoundAudit events (see ServeSSE)
 //
-// All responses are application/json; NaN-able metrics are null. Mounting
+// All JSON responses are uncacheable; NaN-able metrics are null. Mounting
 // under a prefix (canonically "/forensics") lets the forensics surface share
 // one ops mux with the Prometheus /metrics endpoint without a route clash.
 func (c *Collector) Mount(mux *http.ServeMux, prefix string) {
-	writeJSON := func(w http.ResponseWriter, v any) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(v) // client went away; nothing to do
-	}
 	mux.HandleFunc(prefix+"/metrics", func(w http.ResponseWriter, r *http.Request) {
 		rounds := c.Rounds()
 		var current *jsonRoundMetrics
@@ -82,19 +153,138 @@ func (c *Collector) Mount(mux *http.ServeMux, prefix string) {
 			m := metricsToJSON(rounds[len(rounds)-1].Metrics)
 			current = &m
 		}
-		writeJSON(w, struct {
+		jsonHeaders(w)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct { // single write; client-gone needs no cleanup
 			Cumulative Summary           `json:"cumulative"`
 			Current    *jsonRoundMetrics `json:"current"`
 		}{c.Summary(), current})
 	})
 	mux.HandleFunc(prefix+"/rounds", func(w http.ResponseWriter, r *http.Request) {
-		rounds := c.Rounds()
-		out := make([]jsonRoundAudit, len(rounds))
-		for i, ra := range rounds {
-			out[i] = auditToJSON(ra)
+		if s := r.URL.Query().Get("since"); s != "" {
+			since, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "forensics: since must be an unsigned integer", http.StatusBadRequest)
+				return
+			}
+			c.serveRoundsSince(w, since)
+			return
 		}
-		writeJSON(w, out)
+		jsonHeaders(w)
+		// Element-wise writes so a disconnected poller aborts the loop
+		// instead of burning CPU re-marshaling the rest of the ring.
+		rounds := c.Rounds()
+		if _, err := io.WriteString(w, "["); err != nil {
+			return
+		}
+		for i, ra := range rounds {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return
+				}
+			}
+			b, err := json.Marshal(auditToJSON(ra))
+			if err != nil {
+				return
+			}
+			if _, err := w.Write(b); err != nil {
+				return
+			}
+		}
+		_, _ = io.WriteString(w, "]\n")
 	})
+	mux.HandleFunc(prefix+"/stream", c.ServeSSE)
+}
+
+// serveRoundsSince answers the incremental form of /rounds: the audits
+// with cursor > since plus the head cursor the poller carries forward.
+func (c *Collector) serveRoundsSince(w http.ResponseWriter, since uint64) {
+	events, cursor := c.EventsSince(since)
+	jsonHeaders(w)
+	if _, err := fmt.Fprintf(w, "{\"cursor\":%d,\"rounds\":[", cursor); err != nil {
+		return
+	}
+	for i, ev := range events {
+		sep := ""
+		if i > 0 {
+			sep = ","
+		}
+		if _, err := fmt.Fprintf(w, "%s{\"cursor\":%d,\"audit\":", sep, ev.Cursor); err != nil {
+			return
+		}
+		if _, err := w.Write(ev.Data); err != nil {
+			return
+		}
+		if _, err := io.WriteString(w, "}"); err != nil {
+			return
+		}
+	}
+	_, _ = io.WriteString(w, "]}\n")
+}
+
+// ServeSSE streams every aggregation as one Server-Sent Event:
+//
+//	id: <cursor>
+//	event: round
+//	data: <jsonRoundAudit>
+//
+// Resumption follows the SSE contract: the client's Last-Event-ID header
+// (or an explicit ?since=N) selects the backlog cursor, so EventSource's
+// automatic reconnect replays missed rounds from the ring. The
+// subscription queue is bounded with drop-oldest backpressure — a stalled
+// browser loses old events (refetchable via /rounds?since=), never the
+// engine's time. The handler exits when the client disconnects, the
+// server's base context is cancelled (graceful shutdown), or the
+// collector closes.
+func (c *Collector) ServeSSE(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "forensics: streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	var since uint64
+	if s := r.URL.Query().Get("since"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "forensics: since must be an unsigned integer", http.StatusBadRequest)
+			return
+		}
+		since = v
+	} else if s := r.Header.Get("Last-Event-ID"); s != "" {
+		if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+			since = v
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	backlog, ch, cancel := c.Subscribe(since, 0)
+	defer cancel()
+	for _, ev := range backlog {
+		if !writeSSE(w, ev) {
+			return
+		}
+	}
+	flusher.Flush()
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			if !writeSSE(w, ev) {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeSSE(w io.Writer, ev StreamEvent) bool {
+	_, err := fmt.Fprintf(w, "id: %d\nevent: round\ndata: %s\n\n", ev.Cursor, ev.Data)
+	return err == nil
 }
 
 // Handler serves the standalone forensics endpoint: the analytics live under
@@ -112,13 +302,9 @@ func (c *Collector) Handler() http.Handler {
 // Serve starts the live metrics endpoint on addr (e.g. ":8790", or ":0"
 // for an ephemeral port). It returns the bound address and a shutdown
 // function; the server itself runs in a background goroutine for the
-// lifetime of the run.
+// lifetime of the run. Shutdown drains gracefully — in-flight pollers
+// finish and SSE subscribers see their contexts cancelled — and reports
+// real serve/drain errors (see telemetry.ServeOps).
 func (c *Collector) Serve(addr string) (string, func() error, error) {
-	lis, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", nil, err
-	}
-	srv := &http.Server{Handler: c.Handler()}
-	go func() { _ = srv.Serve(lis) }()
-	return lis.Addr().String(), srv.Close, nil
+	return telemetry.ServeOps(addr, c.Handler())
 }

@@ -3,10 +3,25 @@ package report
 import (
 	"fmt"
 	"io"
+	"net"
 	"time"
 
 	"repro/internal/experiment"
 )
+
+// DashboardHint writes the one-time startup line pointing the operator at
+// the embedded dashboard, from the ops listener's resolved address — so an
+// ephemeral ":0" bind prints its real port. An unspecified host (":9090",
+// "0.0.0.0:…", "[::]:…") is rewritten to localhost: that is the URL a
+// browser on the operator's machine can actually open.
+func DashboardHint(w io.Writer, bound string) {
+	if host, port, err := net.SplitHostPort(bound); err == nil {
+		if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+			bound = net.JoinHostPort("localhost", port)
+		}
+	}
+	fmt.Fprintf(w, "dashboard: http://%s/dash/\n", bound)
+}
 
 // Progress returns a grid progress callback that streams one line per
 // completed cell to w: cells-done/total, the cell's identity, whether it

@@ -1,9 +1,12 @@
 package telemetry
 
 import (
+	"context"
+	"errors"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // NewOpsMux assembles the unified operator endpoint: Prometheus metrics at
@@ -15,6 +18,11 @@ func NewOpsMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w) // client went away; nothing to do
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
+		_ = reg.WriteJSON(w) // client went away; nothing to do
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -44,15 +52,50 @@ func RegisterPoolGauges(reg *Registry, workers, inUse func() int) {
 	}
 }
 
+// opsDrainTimeout bounds how long the shutdown function waits for in-flight
+// scrapes and SSE subscribers to finish before hard-closing connections.
+const opsDrainTimeout = 3 * time.Second
+
 // ServeOps serves h on addr (e.g. ":9090", or ":0" for an ephemeral port)
 // in a background goroutine for the lifetime of the run. It returns the
 // bound address and a shutdown function.
+//
+// The shutdown function drains gracefully: it first cancels the server's
+// base context — long-lived streaming handlers (the forensics SSE
+// endpoint) watch their request context and exit on cancellation, which a
+// plain Shutdown would otherwise wait on forever — then calls Shutdown
+// with a short deadline so regular scrapes in flight finish their
+// responses, and only hard-closes connections that outlive the deadline.
+// It reports the first real error from either the serve loop or the
+// shutdown itself (http.ErrServerClosed is the normal exit, not an error).
 func ServeOps(addr string, h http.Handler) (string, func() error, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: h}
-	go func() { _ = srv.Serve(lis) }()
-	return lis.Addr().String(), srv.Close, nil
+	baseCtx, cancel := context.WithCancel(context.Background())
+	srv := &http.Server{
+		Handler:     h,
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(lis) }()
+	shutdown := func() error {
+		cancel()
+		ctx, done := context.WithTimeout(context.Background(), opsDrainTimeout)
+		defer done()
+		err := srv.Shutdown(ctx)
+		if err != nil {
+			// Deadline expired with connections still open (a scraper
+			// mid-download, a browser holding the stream past cancellation):
+			// hard-close the stragglers, but the drain failure is the error
+			// worth reporting.
+			_ = srv.Close()
+		}
+		if serveErr := <-served; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
+			err = serveErr
+		}
+		return err
+	}
+	return lis.Addr().String(), shutdown, nil
 }

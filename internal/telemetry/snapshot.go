@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// snapshotSeries is the JSON shape of one (label set, instrument) pair.
+// Exactly one of Value and the histogram triple is populated, matching the
+// instrument's kind. Labels carries the rendered Prometheus label set
+// (`{k="v",…}`, empty for the bare series) so the dashboard displays the
+// series exactly as a scraper would see it.
+type snapshotSeries struct {
+	Labels string `json:"labels,omitempty"`
+	// Value is the counter/gauge reading (gauge funcs sampled now).
+	Value *float64 `json:"value,omitempty"`
+	// Count/Sum summarize a histogram: observations and total seconds.
+	Count *int64   `json:"count,omitempty"`
+	Sum   *float64 `json:"sum,omitempty"`
+}
+
+// snapshotFamily is the JSON shape of one metric name.
+type snapshotFamily struct {
+	Name   string           `json:"name"`
+	Type   string           `json:"type"`
+	Help   string           `json:"help,omitempty"`
+	Series []snapshotSeries `json:"series"`
+}
+
+// WriteJSON renders every registered metric as one JSON document — the
+// machine surface behind the dashboard's fleet panel, which needs typed
+// values rather than re-parsing the Prometheus text format in the browser.
+// Output order is deterministic (families by name, series by label set),
+// mirroring WritePrometheus.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := struct {
+		Families []snapshotFamily `json:"families"`
+	}{Families: []snapshotFamily{}}
+	if r != nil {
+		r.mu.Lock()
+		names := append([]string(nil), r.names...)
+		sort.Strings(names)
+		for _, name := range names {
+			fam := r.families[name]
+			sf := snapshotFamily{Name: name, Type: fam.typ, Help: fam.help}
+			keys := append([]string(nil), fam.keys...)
+			sort.Strings(keys)
+			for _, key := range keys {
+				ss := snapshotSeries{Labels: key}
+				switch v := fam.series[key].(type) {
+				case *Counter:
+					f := float64(v.Value())
+					ss.Value = &f
+				case *Gauge:
+					f := float64(v.Value())
+					ss.Value = &f
+				case gaugeFn:
+					f := v()
+					ss.Value = &f
+				case *Histogram:
+					n, s := v.Count(), v.SumSeconds()
+					ss.Count, ss.Sum = &n, &s
+				}
+				sf.Series = append(sf.Series, ss)
+			}
+			out.Families = append(out.Families, sf)
+		}
+		r.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

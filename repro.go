@@ -33,7 +33,9 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/dashboard"
 	"repro/internal/experiment"
+	"repro/internal/forensics"
 	"repro/internal/report"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
@@ -96,6 +98,18 @@ type RunOptions struct {
 	// Owner is set) and the pprof handlers under /debug/pprof/. Pure
 	// observation: results are bit-identical with or without it.
 	OpsAddr string
+	// Dash mounts the embedded operator dashboard at /dash/ on the ops
+	// endpoint: the fleet panel renders the sweep metrics live, and with
+	// DashReplay the time-travel/diff tab serves finished runs. Requires
+	// OpsAddr. Pure observation, like the rest of the ops plane.
+	Dash bool
+	// DashReplay lists journal paths (comma-separated; audit journals or
+	// run stores) to load into the dashboard's replay tab. Requires Dash.
+	DashReplay string
+	// OnOpsBound, when non-nil, receives the ops listener's resolved
+	// address once it is serving — the hook the -dash startup hint prints
+	// the dashboard URL through.
+	OnOpsBound func(addr string)
 }
 
 // SetThreads pins the process-global kernel worker-pool size: the bound on
@@ -118,7 +132,7 @@ func RunConfig(cfg Config) (*Outcome, error) {
 // RunConfigOpts executes a single simulation with run-store support: with
 // a StorePath the completed run (and its clean baseline) is journaled, and
 // with Resume a journaled run is replayed instead of recomputed.
-func RunConfigOpts(cfg Config, opts RunOptions) (*Outcome, error) {
+func RunConfigOpts(cfg Config, opts RunOptions) (out *Outcome, retErr error) {
 	if opts.Threads > 0 {
 		SetThreads(opts.Threads)
 	}
@@ -133,7 +147,13 @@ func RunConfigOpts(cfg Config, opts RunOptions) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer closeOps()
+	defer func() {
+		// An ops plane that failed to drain is a real fault; don't let it
+		// vanish on the way out (but never mask the run's own error).
+		if cerr := closeOps(); cerr != nil && retErr == nil {
+			out, retErr = nil, fmt.Errorf("repro: ops shutdown: %w", cerr)
+		}
+	}()
 	outs, err := runner.RunGrid([]Config{cfg}, 1)
 	if err != nil {
 		return nil, err
@@ -176,20 +196,43 @@ func attachStore(runner *experiment.Runner, opts RunOptions) (func(), error) {
 
 // attachOps serves the sweep-level ops endpoint when the options ask for
 // one, and wires the fleet instruments (cells, leases, throughput) into the
-// runner so progress lines and /metrics agree. The returned func shuts the
-// endpoint down.
-func attachOps(runner *experiment.Runner, opts RunOptions) (func(), error) {
+// runner so progress lines and /metrics agree. With Dash it also mounts the
+// embedded dashboard (fleet panel, and the replay/diff tab when DashReplay
+// names journals). The returned func drains the endpoint and reports real
+// serve/drain errors.
+func attachOps(runner *experiment.Runner, opts RunOptions) (func() error, error) {
 	if opts.OpsAddr == "" {
-		return func() {}, nil
+		if opts.Dash {
+			return nil, fmt.Errorf("repro: Dash requires OpsAddr (the dashboard rides the ops listener)")
+		}
+		return func() error { return nil }, nil
 	}
 	reg := telemetry.NewRegistry()
 	telemetry.RegisterPoolGauges(reg, tensor.Workers, tensor.InUse)
 	runner.Telemetry = telemetry.NewSweepTelemetry(reg, nil, opts.Owner)
-	_, shutdown, err := telemetry.ServeOps(opts.OpsAddr, telemetry.NewOpsMux(reg))
+	mux := telemetry.NewOpsMux(reg)
+	if opts.Dash {
+		replayRuns, err := experiment.LoadDashReplay(opts.DashReplay)
+		if err != nil {
+			return nil, fmt.Errorf("repro: %w", err)
+		}
+		if len(replayRuns) > 0 {
+			forensics.NewReplay(replayRuns).Mount(mux, dashboard.Prefix+"/api/replay")
+		}
+		dashboard.Mount(mux, dashboard.Config{
+			Title:  "fl sweep dashboard",
+			Fleet:  true,
+			Replay: len(replayRuns) > 0,
+		})
+	}
+	bound, shutdown, err := telemetry.ServeOps(opts.OpsAddr, mux)
 	if err != nil {
 		return nil, fmt.Errorf("repro: ops endpoint: %w", err)
 	}
-	return func() { _ = shutdown() }, nil
+	if opts.OnOpsBound != nil {
+		opts.OnOpsBound(bound)
+	}
+	return shutdown, nil
 }
 
 // ProgressWriter returns a RunOptions.Progress callback that streams one
@@ -220,7 +263,7 @@ func RunExperiment(id, profileName string, w io.Writer) error {
 // rows to w. With a StorePath, completed cells are journaled as they
 // finish; with Resume, a re-run against the same store executes only the
 // cells the previous (possibly killed) run did not complete.
-func RunExperimentOpts(id string, opts RunOptions, w io.Writer) error {
+func RunExperimentOpts(id string, opts RunOptions, w io.Writer) (retErr error) {
 	exp, ok := experiment.ByID(id)
 	if !ok {
 		return fmt.Errorf("repro: unknown experiment %q (known: %v)", id, Experiments())
@@ -244,7 +287,11 @@ func RunExperimentOpts(id string, opts RunOptions, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	defer closeOps()
+	defer func() {
+		if cerr := closeOps(); cerr != nil && retErr == nil {
+			retErr = fmt.Errorf("repro: ops shutdown: %w", cerr)
+		}
+	}()
 	if _, err := fmt.Fprintf(w, "# %s [profile=%s]\n", exp.Title, profile.Name); err != nil {
 		return err
 	}
